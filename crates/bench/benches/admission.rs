@@ -1,0 +1,96 @@
+//! Micro-benchmarks of one full admission test under each scheme — the
+//! operational cost behind the paper's `N_calc` complexity argument
+//! (Fig. 13): AC2 should cost ≈3× AC1, AC3 between the two.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qres_cellnet::{Bandwidth, BsNetworkKind, CellId, ConnectionId, Topology};
+use qres_core::{AcKind, NewConnectionRequest, QresConfig, ReservationSystem, SchemeConfig};
+use qres_des::SimTime;
+
+/// Builds a loaded 10-cell ring: ~40 voice connections per cell, marched
+/// around the ring once so the estimation caches hold real hand-off
+/// history.
+fn loaded_system(scheme: SchemeConfig) -> (ReservationSystem, u64, f64) {
+    let mut sys = ReservationSystem::new(
+        QresConfig::paper_stationary(scheme),
+        Topology::ring(10),
+        BsNetworkKind::FullyConnected,
+    );
+    let mut id = 0u64;
+    let mut t = 0.0;
+    let mut batch = Vec::new();
+    for cell in 0..10u32 {
+        for _ in 0..40 {
+            t += 0.01;
+            sys.request_new_connection(
+                SimTime::from_secs(t),
+                NewConnectionRequest {
+                    cell: CellId(cell),
+                    id: ConnectionId(id),
+                    bandwidth: Bandwidth::from_bus(1),
+                    known_next: None,
+                },
+            );
+            batch.push((id, cell));
+            id += 1;
+        }
+    }
+    t += 35.0;
+    for &(conn, cell) in &batch {
+        let next = (cell + 1) % 10;
+        t += 0.001;
+        sys.attempt_handoff(
+            SimTime::from_secs(t),
+            ConnectionId(conn),
+            CellId(cell),
+            CellId(next),
+        );
+    }
+    (sys, id, t)
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_test");
+    let schemes: [(&str, SchemeConfig); 4] = [
+        (
+            "static",
+            SchemeConfig::Static {
+                guard: Bandwidth::from_bus(10),
+            },
+        ),
+        ("ac1", SchemeConfig::Predictive { kind: AcKind::Ac1 }),
+        ("ac2", SchemeConfig::Predictive { kind: AcKind::Ac2 }),
+        ("ac3", SchemeConfig::Predictive { kind: AcKind::Ac3 }),
+    ];
+    for (label, scheme) in schemes {
+        let (mut sys, first_free_id, t0) = loaded_system(scheme);
+        group.bench_function(label, |b| {
+            let mut t = t0;
+            let mut id = first_free_id;
+            b.iter(|| {
+                // Admit, then (if admitted) release immediately so the
+                // steady-state occupancy is identical every iteration.
+                t += 0.001;
+                id += 1;
+                let decision = sys.request_new_connection(
+                    SimTime::from_secs(t),
+                    NewConnectionRequest {
+                        cell: CellId(4),
+                        id: ConnectionId(id),
+                        bandwidth: Bandwidth::from_bus(1),
+                        known_next: None,
+                    },
+                );
+                if decision.is_admitted() {
+                    t += 0.001;
+                    sys.end_connection(SimTime::from_secs(t), ConnectionId(id), CellId(4));
+                }
+                black_box(decision)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the discrete-event queue — the substrate every
+//! simulated second rides on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qres_des::{EventQueue, SimTime};
+
+fn schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_then_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n);
+                for i in 0..n {
+                    // Pseudo-random times via a multiplicative hash.
+                    let t = ((i.wrapping_mul(2_654_435_761)) % 1_000_000) as f64;
+                    q.schedule(SimTime::from_secs(t), i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.bench_function("interleaved_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(64);
+            let mut clock = 0.0;
+            // A self-scheduling chain like the simulator's arrival process.
+            q.schedule(SimTime::from_secs(0.0), 0u64);
+            for _ in 0..10_000 {
+                let (t, v) = q.pop().unwrap();
+                clock = t.as_secs();
+                q.schedule(SimTime::from_secs(clock + 1.0 + (v % 7) as f64), v + 1);
+            }
+            black_box(clock)
+        })
+    });
+    group.bench_function("cancellation_heavy", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(2_048);
+            let mut handles = Vec::with_capacity(1_024);
+            for i in 0..1_024u32 {
+                handles.push(q.schedule(SimTime::from_secs(f64::from(i)), i));
+            }
+            // Cancel every other event (the lifetime-vs-crossing race).
+            for h in handles.iter().step_by(2) {
+                q.cancel(*h);
+            }
+            let mut seen = 0u32;
+            while q.pop().is_some() {
+                seen += 1;
+            }
+            black_box(seen)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, schedule_pop);
+criterion_main!(benches);

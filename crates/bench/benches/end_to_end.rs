@@ -1,0 +1,38 @@
+//! End-to-end simulation throughput: simulated seconds per wall-clock
+//! second for representative scenarios — the number that determines how
+//! long the 20 000 s experiment sweeps take.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qres_sim::{run_scenario, Scenario, SchemeKind};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_100s");
+    group.sample_size(10);
+    let cases = [
+        ("static_L150", SchemeKind::Static { guard_bus: 10 }, 150.0),
+        ("ac1_L150", SchemeKind::Ac1, 150.0),
+        ("ac3_L150", SchemeKind::Ac3, 150.0),
+        ("ac3_L300", SchemeKind::Ac3, 300.0),
+        ("ac2_L300", SchemeKind::Ac2, 300.0),
+    ];
+    for (label, scheme, load) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = run_scenario(
+                    &Scenario::paper_baseline()
+                        .scheme(scheme)
+                        .offered_load(load)
+                        .duration_secs(100.0)
+                        .seed(seed),
+                );
+                black_box(r.events_dispatched)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Micro-benchmark of the `B_i,0` contribution computation (Eq. 5) as the
+//! neighbor-cell population grows — the dominant cost of an admission test.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qres_cellnet::{Bandwidth, Cell, CellId, ConnInfo, ConnectionId};
+use qres_core::neighbor_contribution;
+use qres_des::{Duration, SimTime};
+use qres_mobility::{HandoffEvent, HoeCache, HoeConfig};
+
+fn setup(population: usize) -> (Cell, HoeCache, SimTime) {
+    let mut cache = HoeCache::new(HoeConfig::stationary());
+    let mut t = 0.0;
+    for i in 0..200usize {
+        t += 1.0;
+        let prev = if i % 2 == 0 { Some(CellId(2)) } else { None };
+        let next = if i % 3 == 0 { CellId(0) } else { CellId(2) };
+        cache.record(HandoffEvent::new(
+            SimTime::from_secs(t),
+            prev,
+            next,
+            Duration::from_secs(20.0 + (i % 40) as f64),
+        ));
+    }
+    let mut cell = Cell::new(CellId(1), Bandwidth::from_bus(4 * population as u32 + 1));
+    for j in 0..population {
+        cell.insert(ConnInfo {
+            id: ConnectionId(j as u64),
+            bandwidth: Bandwidth::from_bus(if j % 2 == 0 { 1 } else { 4 }),
+            prev: if j % 3 == 0 { Some(CellId(2)) } else { None },
+            entered_at: SimTime::from_secs(t - (j % 60) as f64),
+            known_next: None,
+        })
+        .unwrap();
+    }
+    (cell, cache, SimTime::from_secs(t + 1.0))
+}
+
+fn bench_contribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservation_b_i0");
+    for &population in &[10usize, 50, 100, 200] {
+        let (cell, mut cache, now) = setup(population);
+        // Warm the snapshot.
+        let _ = neighbor_contribution(&cell, &mut cache, now, CellId(0), Duration::from_secs(5.0));
+        group.bench_with_input(
+            BenchmarkId::new("population", population),
+            &population,
+            |b, _| {
+                b.iter(|| {
+                    black_box(neighbor_contribution(
+                        &cell,
+                        &mut cache,
+                        now,
+                        CellId(0),
+                        Duration::from_secs(10.0),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contribution);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmark of the `T_est` window controller (Fig. 6) plus an
+//! **ablation**: how the three step policies (fixed / additive /
+//! multiplicative) respond to the same drop pattern — the design-choice
+//! experiment the paper reports in prose ("these choices are found to
+//! cause over-reactions").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qres_core::{StepPolicy, WindowController};
+use qres_des::Duration;
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_control");
+    group.bench_function("observe_handoff", |b| {
+        let mut ctl = WindowController::paper_default();
+        let cap = Some(Duration::from_secs(90.0));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // ~0.7% drop rate, bursty.
+            let dropped = i % 150 < 1;
+            black_box(ctl.observe_handoff(dropped, cap))
+        })
+    });
+    group.finish();
+}
+
+/// Not a timing benchmark: replays one bursty drop pattern through the
+/// three policies and prints the resulting T_est excursion, quantifying
+/// the paper's "over-reaction" finding. Runs as part of `cargo bench` so
+/// the numbers land in bench_output.txt next to the timings.
+fn step_policy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_policy_ablation");
+    for (label, policy) in [
+        ("fixed", StepPolicy::Fixed),
+        ("additive", StepPolicy::Additive),
+        ("multiplicative", StepPolicy::Multiplicative),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut ctl = WindowController::new(0.01, 1, policy);
+                let cap = Some(Duration::from_secs(3_600.0));
+                let mut peak = 0u64;
+                let mut excursion = 0u64; // Σ |ΔT_est| — fluctuation magnitude
+                let mut last = ctl.t_est_secs();
+                // Two bursts of drops separated by quiet spells.
+                for phase in 0..4 {
+                    let burst = phase % 2 == 0;
+                    for i in 0..3_000u64 {
+                        let dropped = burst && i % 40 == 0;
+                        ctl.observe_handoff(dropped, cap);
+                        let t = ctl.t_est_secs();
+                        excursion += t.abs_diff(last);
+                        last = t;
+                        peak = peak.max(t);
+                    }
+                }
+                black_box((peak, excursion))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, step_policy_ablation);
+criterion_main!(benches);

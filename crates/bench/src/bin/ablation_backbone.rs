@@ -1,0 +1,57 @@
+//! Ablation (paper Fig. 1): the signaling cost of the reservation protocol
+//! under the two backbone interconnects — star-via-MSC (deployed practice,
+//! every BS↔BS exchange relays through the switching center) vs.
+//! fully-connected BSs — for each admission-control scheme.
+//!
+//! `N_calc` (Fig. 13) counts `B_r` computations; this experiment counts the
+//! messages and link hops *behind* each computation, the quantity a
+//! backbone operator would provision for. Expected shape: message counts
+//! scale with `N_calc` (AC2 ≈ 3× AC1, AC3 in between, growing with load);
+//! the star backbone doubles hops but not messages.
+
+use qres_bench::{emit, header, ExpOptions};
+use qres_cellnet::BsNetworkKind;
+use qres_sim::report::SeriesTable;
+use qres_sim::{run_scenario, Scenario, SchemeKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let duration = opts.duration(10_000.0, 600.0);
+    let schemes = [SchemeKind::Ac1, SchemeKind::Ac2, SchemeKind::Ac3];
+
+    for (title, backbone) in [
+        ("fully-connected BSs (1 hop/msg)", BsNetworkKind::FullyConnected),
+        ("star via MSC (2 hops/msg)", BsNetworkKind::StarViaMsc),
+    ] {
+        header(&opts, &format!("Backbone ablation — {title}"));
+        let mut table = SeriesTable::new(
+            "load",
+            schemes
+                .iter()
+                .flat_map(|s| {
+                    [
+                        format!("msgs/s:{}", s.label()),
+                        format!("hops/s:{}", s.label()),
+                    ]
+                })
+                .collect(),
+        );
+        for &load in &opts.load_grid() {
+            let mut row = Vec::new();
+            for &scheme in &schemes {
+                let mut s = Scenario::paper_baseline()
+                    .scheme(scheme)
+                    .offered_load(load)
+                    .high_mobility()
+                    .duration_secs(duration)
+                    .seed(opts.seed);
+                s.backbone = backbone;
+                let r = run_scenario(&s);
+                row.push(Some(r.signaling.messages as f64 / duration));
+                row.push(Some(r.signaling.hops as f64 / duration));
+            }
+            table.push_row(load, row);
+        }
+        emit(&opts, &table);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation (paper Section 7 extension): history-only mobility estimation
+//! vs. **route-aware** reservation, where mobiles declare their next cell
+//! (ITS/GPS route guidance) and the estimation function is used "to
+//! estimate the sojourn time of a mobile only".
+//!
+//! Expected shape: identical `P_HD` protection with equal-or-leaner
+//! reservation (`B_r`), hence equal-or-lower blocking — destination
+//! knowledge removes the direction uncertainty the history-only estimator
+//! spreads across neighbors. A second sweep adds heading churn
+//! (`turn_probability = 0.2`) so declarations go stale, measuring
+//! sensitivity to wrong route data.
+
+use qres_bench::{emit, header, ExpOptions};
+use qres_sim::report::SeriesTable;
+use qres_sim::{sweep_offered_load, Scenario, SchemeKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let duration = opts.duration(15_000.0, 600.0);
+    let loads = opts.load_grid();
+
+    for (title, turn_prob) in [
+        ("exact route declarations", 0.0),
+        ("stale declarations (20% turns)", 0.2),
+    ] {
+        header(&opts, &format!("Route-aware ablation — {title}, AC3, R_vo = 0.8"));
+        let mut table = SeriesTable::new(
+            "load",
+            vec![
+                "P_CB:history".into(),
+                "P_HD:history".into(),
+                "B_r:history".into(),
+                "P_CB:routed".into(),
+                "P_HD:routed".into(),
+                "B_r:routed".into(),
+            ],
+        );
+        let mut base = Scenario::paper_baseline()
+            .scheme(SchemeKind::Ac3)
+            .voice_ratio(0.8)
+            .high_mobility()
+            .duration_secs(duration)
+            .seed(opts.seed);
+        base.turn_probability = turn_prob;
+        let history = sweep_offered_load(&base, &loads);
+        let routed = sweep_offered_load(&base.clone().route_aware(), &loads);
+        for (i, &load) in loads.iter().enumerate() {
+            let h = &history[i].result;
+            let r = &routed[i].result;
+            table.push_row(
+                load,
+                vec![
+                    Some(h.p_cb()),
+                    Some(h.p_hd()),
+                    Some(h.avg_br()),
+                    Some(r.p_cb()),
+                    Some(r.p_hd()),
+                    Some(r.avg_br()),
+                ],
+            );
+        }
+        emit(&opts, &table);
+    }
+}

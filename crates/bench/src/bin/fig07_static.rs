@@ -1,0 +1,48 @@
+//! Figure 7: `P_CB` and `P_HD` vs. offered load under **static reservation**
+//! with `G = 10` BUs, for voice ratios 1.0 / 0.8 / 0.5, at (a) high user
+//! mobility (80–120 km/h) and (b) low user mobility (40–60 km/h).
+//!
+//! Expected shape (paper §5.2.1): `G = 10` keeps `P_HD` under the 0.01
+//! target for `R_vo = 1.0` but not for `R_vo = 0.5`; for `R_vo = 0.8` it
+//! holds at low mobility but fails at high mobility beyond `L ≈ 150`; and
+//! at light loads `P_HD` is far *below* target (over-reservation).
+
+use qres_bench::{emit, header, ExpOptions};
+use qres_sim::report::SeriesTable;
+use qres_sim::{sweep_offered_load, Scenario, SchemeKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let duration = opts.duration(20_000.0, 600.0);
+    let loads = opts.load_grid();
+    let voice_ratios = [1.0, 0.8, 0.5];
+
+    for (name, mobility) in [("(a) high user mobility", true), ("(b) low user mobility", false)] {
+        header(&opts, &format!("Fig. 7 {name}: static reservation, G = 10"));
+        let mut columns = Vec::new();
+        for r in voice_ratios {
+            columns.push(format!("P_CB:Rvo={r}"));
+            columns.push(format!("P_HD:Rvo={r}"));
+        }
+        let mut table = SeriesTable::new("load", columns);
+        let mut sweeps = Vec::new();
+        for &r_vo in &voice_ratios {
+            let base = Scenario::paper_baseline()
+                .scheme(SchemeKind::Static { guard_bus: 10 })
+                .voice_ratio(r_vo)
+                .duration_secs(duration)
+                .seed(opts.seed);
+            let base = if mobility { base.high_mobility() } else { base.low_mobility() };
+            sweeps.push(sweep_offered_load(&base, &loads));
+        }
+        for (i, &load) in loads.iter().enumerate() {
+            let mut row = Vec::new();
+            for sweep in &sweeps {
+                row.push(Some(sweep[i].result.p_cb()));
+                row.push(Some(sweep[i].result.p_hd()));
+            }
+            table.push_row(load, row);
+        }
+        emit(&opts, &table);
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 8: `P_CB` and `P_HD` vs. offered load under **AC3**, voice ratios
+//! 1.0 / 0.8 / 0.5, at (a) high and (b) low user mobility.
+//!
+//! Expected shape (paper §5.2.2): `P_HD ≤ P_HD,target = 0.01` across the
+//! whole 60–300 load range, for every voice ratio and both mobility
+//! levels; the `P_CB`–`P_HD` gap narrows as the load falls (less is
+//! reserved when less is needed).
+
+use qres_bench::{emit, header, ExpOptions};
+use qres_sim::report::SeriesTable;
+use qres_sim::{sweep_offered_load, Scenario, SchemeKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let duration = opts.duration(20_000.0, 600.0);
+    let loads = opts.load_grid();
+    let voice_ratios = [1.0, 0.8, 0.5];
+
+    for (name, mobility) in [("(a) high user mobility", true), ("(b) low user mobility", false)] {
+        header(&opts, &format!("Fig. 8 {name}: AC3"));
+        let mut columns = Vec::new();
+        for r in voice_ratios {
+            columns.push(format!("P_CB:Rvo={r}"));
+            columns.push(format!("P_HD:Rvo={r}"));
+        }
+        let mut table = SeriesTable::new("load", columns);
+        let mut sweeps = Vec::new();
+        for &r_vo in &voice_ratios {
+            let base = Scenario::paper_baseline()
+                .scheme(SchemeKind::Ac3)
+                .voice_ratio(r_vo)
+                .duration_secs(duration)
+                .seed(opts.seed);
+            let base = if mobility { base.high_mobility() } else { base.low_mobility() };
+            sweeps.push(sweep_offered_load(&base, &loads));
+        }
+        for (i, &load) in loads.iter().enumerate() {
+            let mut row = Vec::new();
+            for sweep in &sweeps {
+                row.push(Some(sweep[i].result.p_cb()));
+                row.push(Some(sweep[i].result.p_hd()));
+            }
+            table.push_row(load, row);
+        }
+        emit(&opts, &table);
+    }
+}

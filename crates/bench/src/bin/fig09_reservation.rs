@@ -1,0 +1,48 @@
+//! Figure 9: average target reservation bandwidth `B_r` and average used
+//! bandwidth `B_u` vs. offered load under AC3, at (a) high and (b) low
+//! user mobility, voice ratios 1.0 / 0.8 / 0.5.
+//!
+//! Expected shape (paper §5.2.2): `B_r` grows monotonically with load and
+//! saturates in the over-loaded region; more video (lower `R_vo`) and
+//! higher mobility both reserve more; `B_u` moves inversely to `B_r`, and
+//! `B_r + B_u < C` because AC3 also polices suspect neighbors.
+
+use qres_bench::{emit, header, ExpOptions};
+use qres_sim::report::SeriesTable;
+use qres_sim::{sweep_offered_load, Scenario, SchemeKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let duration = opts.duration(20_000.0, 600.0);
+    let loads = opts.load_grid();
+    let voice_ratios = [1.0, 0.8, 0.5];
+
+    for (name, mobility) in [("(a) high user mobility", true), ("(b) low user mobility", false)] {
+        header(&opts, &format!("Fig. 9 {name}: average B_r and B_u, AC3"));
+        let mut columns = Vec::new();
+        for r in voice_ratios {
+            columns.push(format!("B_r:Rvo={r}"));
+            columns.push(format!("B_u:Rvo={r}"));
+        }
+        let mut table = SeriesTable::new("load", columns);
+        let mut sweeps = Vec::new();
+        for &r_vo in &voice_ratios {
+            let base = Scenario::paper_baseline()
+                .scheme(SchemeKind::Ac3)
+                .voice_ratio(r_vo)
+                .duration_secs(duration)
+                .seed(opts.seed);
+            let base = if mobility { base.high_mobility() } else { base.low_mobility() };
+            sweeps.push(sweep_offered_load(&base, &loads));
+        }
+        for (i, &load) in loads.iter().enumerate() {
+            let mut row = Vec::new();
+            for sweep in &sweeps {
+                row.push(Some(sweep[i].result.avg_br()));
+                row.push(Some(sweep[i].result.avg_bu()));
+            }
+            table.push_row(load, row);
+        }
+        emit(&opts, &table);
+    }
+}

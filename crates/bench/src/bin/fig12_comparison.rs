@@ -1,0 +1,50 @@
+//! Figure 12: `P_CB` and `P_HD` vs. offered load for AC1 / AC2 / AC3 at
+//! high user mobility, for (a) `R_vo = 1.0` and (b) `R_vo = 0.5`.
+//!
+//! Expected shape (paper §5.2.3): the three schemes have nearly identical
+//! `P_CB` (AC1 slightly lowest); AC2 ≈ AC3 on `P_HD`, while AC1 violates
+//! the 0.01 target in the heavily over-loaded region (`L > ~150`) — though
+//! it stays below ~0.02 even at `L = 300`.
+
+use qres_bench::{emit, header, ExpOptions};
+use qres_sim::report::SeriesTable;
+use qres_sim::{sweep_offered_load, Scenario, SchemeKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let duration = opts.duration(20_000.0, 600.0);
+    let loads = opts.load_grid();
+    let schemes = [SchemeKind::Ac1, SchemeKind::Ac2, SchemeKind::Ac3];
+
+    for r_vo in [1.0, 0.5] {
+        header(
+            &opts,
+            &format!("Fig. 12 (R_vo = {r_vo}): AC1 vs AC2 vs AC3, high mobility"),
+        );
+        let mut columns = Vec::new();
+        for s in schemes {
+            columns.push(format!("P_CB:{}", s.label()));
+            columns.push(format!("P_HD:{}", s.label()));
+        }
+        let mut table = SeriesTable::new("load", columns);
+        let mut sweeps = Vec::new();
+        for &scheme in &schemes {
+            let base = Scenario::paper_baseline()
+                .scheme(scheme)
+                .voice_ratio(r_vo)
+                .high_mobility()
+                .duration_secs(duration)
+                .seed(opts.seed);
+            sweeps.push(sweep_offered_load(&base, &loads));
+        }
+        for (i, &load) in loads.iter().enumerate() {
+            let mut row = Vec::new();
+            for sweep in &sweeps {
+                row.push(Some(sweep[i].result.p_cb()));
+                row.push(Some(sweep[i].result.p_hd()));
+            }
+            table.push_row(load, row);
+        }
+        emit(&opts, &table);
+    }
+}

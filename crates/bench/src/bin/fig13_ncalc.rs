@@ -1,0 +1,58 @@
+//! Figure 13: average number of `B_r` calculations per admission test
+//! (`N_calc`) vs. offered load for AC1 / AC2 / AC3, at (a) high and
+//! (b) low user mobility.
+//!
+//! Expected shape (paper §5.2.3): AC1 is exactly 1 and AC2 exactly 3
+//! (1 + two ring neighbors), independent of load; AC3 sits at 1 for light
+//! loads and climbs from `L ≈ 80`, but stays below 1.5 — under half of
+//! AC2's cost.
+
+use qres_bench::{emit, header, ExpOptions};
+use qres_sim::report::SeriesTable;
+use qres_sim::{sweep_offered_load, Scenario, SchemeKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let duration = opts.duration(20_000.0, 600.0);
+    let loads = opts.load_grid();
+    let schemes = [SchemeKind::Ac1, SchemeKind::Ac2, SchemeKind::Ac3];
+
+    for (name, mobility) in [("(a) high user mobility", true), ("(b) low user mobility", false)] {
+        header(&opts, &format!("Fig. 13 {name}: N_calc per admission test"));
+        let columns = schemes
+            .iter()
+            .map(|s| format!("N_calc:{}", s.label()))
+            .collect();
+        let mut table = SeriesTable::new("load", columns);
+        let mut sweeps = Vec::new();
+        for &scheme in &schemes {
+            let base = Scenario::paper_baseline()
+                .scheme(scheme)
+                .voice_ratio(1.0)
+                .duration_secs(duration)
+                .seed(opts.seed);
+            let base = if mobility { base.high_mobility() } else { base.low_mobility() };
+            sweeps.push(sweep_offered_load(&base, &loads));
+        }
+        for (i, &load) in loads.iter().enumerate() {
+            let row = sweeps
+                .iter()
+                .map(|sweep| Some(sweep[i].result.n_calc_mean))
+                .collect();
+            table.push_row(load, row);
+        }
+        emit(&opts, &table);
+        if !opts.csv_only {
+            // Also report backbone signaling to contrast star vs. mesh cost
+            // (the messages behind each calculation).
+            let msgs = &sweeps[2].last().unwrap().result.signaling;
+            println!(
+                "\nAC3 at L = {}: {} backbone messages, {} hops, {} bytes\n",
+                loads.last().unwrap(),
+                msgs.messages,
+                msgs.hops,
+                msgs.bytes
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Identifiers for cells and connections.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a cell (equivalently its base station) in the system.
+///
+/// This is a *global* index into the system's cell array. The paper also
+/// uses a per-cell local indexing (Fig. 2: the current cell is 0, neighbors
+/// are 1, 2, …); that local view is just a position in
+/// [`crate::Topology::neighbors`] and never needs its own type.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper prints cells as <1>..<10>; we keep 0-based indices but
+        // the report layer offsets for presentation.
+        write!(f, "cell<{}>", self.0)
+    }
+}
+
+/// Identifies a connection (and, since the paper assumes one connection per
+/// mobile, the mobile carrying it).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ConnectionId(pub u64);
+
+impl fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// Allocates unique [`ConnectionId`]s for one simulation run.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ConnectionIdAllocator {
+    next: u64,
+}
+
+impl ConnectionIdAllocator {
+    /// A fresh allocator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the next unused id.
+    pub fn allocate(&mut self) -> ConnectionId {
+        let id = ConnectionId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Number of ids handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_is_sequential_and_unique() {
+        let mut alloc = ConnectionIdAllocator::new();
+        let a = alloc.allocate();
+        let b = alloc.allocate();
+        assert_ne!(a, b);
+        assert_eq!(a, ConnectionId(0));
+        assert_eq!(b, ConnectionId(1));
+        assert_eq!(alloc.allocated(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CellId(4).to_string(), "cell<4>");
+        assert_eq!(ConnectionId(9).to_string(), "conn#9");
+        assert_eq!(CellId(4).index(), 4);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(CellId(1) < CellId(2));
+        assert!(ConnectionId(1) < ConnectionId(2));
+    }
+}

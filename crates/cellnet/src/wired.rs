@@ -1,0 +1,615 @@
+//! Wired backbone bandwidth reservation (paper Section 7 future work).
+//!
+//! "A connection runs through multiple wired and wireless links, and hence,
+//! we need to consider bandwidth reservation on both wireless and wired
+//! links for hand-offs. … Our scheme can be extended easily to include
+//! wired link bandwidth reservation by considering the routing and
+//! re-routing inside the wired network." (Section 2 / Section 7.)
+//!
+//! This module provides that substrate: a capacitated wired graph of base
+//! stations, switches and a gateway; deterministic min-hop routing subject
+//! to residual capacity; per-connection path allocation from a BS to the
+//! gateway; and **crossover re-routing** on hand-off — the shared suffix
+//! of the old and new paths is kept, only the divergent segment is
+//! re-allocated, so a hand-off between sibling BSs under one switch never
+//! touches the core links.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::bu::Bandwidth;
+use crate::ids::{CellId, ConnectionId};
+
+/// Identifies a node of the wired backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a wired link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The role of a backbone node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A base station serving the given cell.
+    BaseStation(CellId),
+    /// An aggregation switch (e.g. the MSC).
+    Switch,
+    /// The gateway to the wide-area network — every connection's wired
+    /// path terminates here.
+    Gateway,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Link {
+    a: NodeId,
+    b: NodeId,
+    capacity: Bandwidth,
+    used: Bandwidth,
+}
+
+impl Link {
+    fn free(&self) -> Bandwidth {
+        self.capacity - self.used
+    }
+}
+
+/// Errors from wired allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WiredError {
+    /// No path with sufficient residual capacity exists.
+    NoFeasiblePath,
+    /// The connection already holds a wired path.
+    AlreadyAllocated,
+    /// The connection holds no wired path.
+    NotAllocated,
+    /// The cell has no base-station node in this backbone.
+    UnknownCell,
+}
+
+impl std::fmt::Display for WiredError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WiredError::NoFeasiblePath => write!(f, "no wired path with sufficient capacity"),
+            WiredError::AlreadyAllocated => write!(f, "connection already has a wired path"),
+            WiredError::NotAllocated => write!(f, "connection has no wired path"),
+            WiredError::UnknownCell => write!(f, "cell has no base station in the backbone"),
+        }
+    }
+}
+
+impl std::error::Error for WiredError {}
+
+/// A capacitated wired backbone with per-connection path allocations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WiredNetwork {
+    nodes: Vec<NodeKind>,
+    links: Vec<Link>,
+    /// adjacency[node] = (link, neighbor), sorted by neighbor id for
+    /// deterministic routing.
+    adjacency: Vec<Vec<(LinkId, NodeId)>>,
+    gateway: NodeId,
+    bs_of_cell: BTreeMap<CellId, NodeId>,
+    /// Allocated path per connection, as the link sequence BS → gateway.
+    paths: BTreeMap<ConnectionId, (Bandwidth, Vec<LinkId>)>,
+    /// Re-route bookkeeping: how many links were re-allocated vs. kept.
+    reroute_links_changed: u64,
+    reroute_links_kept: u64,
+}
+
+/// Builder for [`WiredNetwork`].
+#[derive(Debug, Default)]
+pub struct WiredNetworkBuilder {
+    nodes: Vec<NodeKind>,
+    edges: Vec<(NodeId, NodeId, Bandwidth)>,
+}
+
+impl WiredNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(kind);
+        id
+    }
+
+    /// Adds an undirected link of the given capacity.
+    pub fn link(&mut self, a: NodeId, b: NodeId, capacity: Bandwidth) -> &mut Self {
+        assert_ne!(a, b, "no self-links");
+        assert!(
+            a.index() < self.nodes.len() && b.index() < self.nodes.len(),
+            "link endpoint out of range"
+        );
+        self.edges.push((a, b, capacity));
+        self
+    }
+
+    /// Finalizes the network. Panics unless exactly one gateway exists and
+    /// every base station can reach it.
+    pub fn build(self) -> WiredNetwork {
+        let gateway_nodes: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| matches!(k, NodeKind::Gateway))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        assert_eq!(gateway_nodes.len(), 1, "exactly one gateway required");
+        let gateway = gateway_nodes[0];
+        let mut bs_of_cell = BTreeMap::new();
+        for (i, kind) in self.nodes.iter().enumerate() {
+            if let NodeKind::BaseStation(cell) = kind {
+                let prev = bs_of_cell.insert(*cell, NodeId(i as u32));
+                assert!(prev.is_none(), "duplicate base station for {cell}");
+            }
+        }
+        let mut adjacency = vec![Vec::new(); self.nodes.len()];
+        let links: Vec<Link> = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, capacity))| {
+                adjacency[a.index()].push((LinkId(i as u32), b));
+                adjacency[b.index()].push((LinkId(i as u32), a));
+                Link {
+                    a,
+                    b,
+                    capacity,
+                    used: Bandwidth::ZERO,
+                }
+            })
+            .collect();
+        for list in &mut adjacency {
+            list.sort_by_key(|&(_, nb)| nb);
+        }
+        let net = WiredNetwork {
+            nodes: self.nodes,
+            links,
+            adjacency,
+            gateway,
+            bs_of_cell,
+            paths: BTreeMap::new(),
+            reroute_links_changed: 0,
+            reroute_links_kept: 0,
+        };
+        for &bs in net.bs_of_cell.values() {
+            assert!(
+                net.min_hop_path(bs, Bandwidth::ZERO).is_some(),
+                "base station {bs:?} cannot reach the gateway"
+            );
+        }
+        net
+    }
+}
+
+impl WiredNetwork {
+    /// A star backbone (paper Fig. 1a): every BS connects to one MSC
+    /// switch with `access_capacity`, the MSC connects to the gateway with
+    /// `trunk_capacity`.
+    pub fn star(
+        num_cells: usize,
+        access_capacity: Bandwidth,
+        trunk_capacity: Bandwidth,
+    ) -> WiredNetwork {
+        let mut b = WiredNetworkBuilder::new();
+        let msc = b.node(NodeKind::Switch);
+        let gw = b.node(NodeKind::Gateway);
+        b.link(msc, gw, trunk_capacity);
+        for cell in 0..num_cells {
+            let bs = b.node(NodeKind::BaseStation(CellId(cell as u32)));
+            b.link(bs, msc, access_capacity);
+        }
+        b.build()
+    }
+
+    /// A two-level tree: BSs in groups of `branching` under switches, all
+    /// switches under the gateway. Hand-offs between sibling BSs re-route
+    /// below their shared switch.
+    pub fn tree(
+        num_cells: usize,
+        branching: usize,
+        access_capacity: Bandwidth,
+        trunk_capacity: Bandwidth,
+    ) -> WiredNetwork {
+        assert!(branching >= 1);
+        let mut b = WiredNetworkBuilder::new();
+        let gw = b.node(NodeKind::Gateway);
+        let mut switch_of_group = Vec::new();
+        for _ in 0..num_cells.div_ceil(branching) {
+            let sw = b.node(NodeKind::Switch);
+            b.link(sw, gw, trunk_capacity);
+            switch_of_group.push(sw);
+        }
+        for cell in 0..num_cells {
+            let bs = b.node(NodeKind::BaseStation(CellId(cell as u32)));
+            b.link(bs, switch_of_group[cell / branching], access_capacity);
+        }
+        b.build()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The node kind.
+    pub fn node_kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.index()]
+    }
+
+    /// A link's residual capacity.
+    pub fn link_free(&self, link: LinkId) -> Bandwidth {
+        self.links[link.index()].free()
+    }
+
+    /// A link's used bandwidth.
+    pub fn link_used(&self, link: LinkId) -> Bandwidth {
+        self.links[link.index()].used
+    }
+
+    /// `(links re-allocated, links kept)` across all re-routes — the
+    /// crossover-routing efficiency indicator.
+    pub fn reroute_stats(&self) -> (u64, u64) {
+        (self.reroute_links_changed, self.reroute_links_kept)
+    }
+
+    /// BFS min-hop path from `from` to the gateway using only links with
+    /// at least `bw` free. Deterministic: neighbors are explored in id
+    /// order. Returns the link sequence.
+    fn min_hop_path(&self, from: NodeId, bw: Bandwidth) -> Option<Vec<LinkId>> {
+        if from == self.gateway {
+            return Some(Vec::new());
+        }
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        visited[from.index()] = true;
+        let mut queue = VecDeque::from([from]);
+        'bfs: while let Some(node) = queue.pop_front() {
+            for &(link, nb) in &self.adjacency[node.index()] {
+                if visited[nb.index()] || self.links[link.index()].free() < bw {
+                    continue;
+                }
+                visited[nb.index()] = true;
+                prev[nb.index()] = Some((node, link));
+                if nb == self.gateway {
+                    break 'bfs;
+                }
+                queue.push_back(nb);
+            }
+        }
+        if !visited[self.gateway.index()] {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut node = self.gateway;
+        while node != from {
+            let (p, link) = prev[node.index()].expect("reconstruction");
+            path.push(link);
+            node = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Whether a fresh allocation for a connection in `cell` would succeed.
+    pub fn can_allocate(&self, cell: CellId, bw: Bandwidth) -> bool {
+        self.bs_of_cell
+            .get(&cell)
+            .is_some_and(|&bs| self.min_hop_path(bs, bw).is_some())
+    }
+
+    /// Allocates a wired path BS(`cell`) → gateway for `conn`.
+    pub fn allocate(
+        &mut self,
+        conn: ConnectionId,
+        cell: CellId,
+        bw: Bandwidth,
+    ) -> Result<(), WiredError> {
+        if self.paths.contains_key(&conn) {
+            return Err(WiredError::AlreadyAllocated);
+        }
+        let &bs = self.bs_of_cell.get(&cell).ok_or(WiredError::UnknownCell)?;
+        let path = self.min_hop_path(bs, bw).ok_or(WiredError::NoFeasiblePath)?;
+        for &link in &path {
+            self.links[link.index()].used += bw;
+        }
+        self.paths.insert(conn, (bw, path));
+        Ok(())
+    }
+
+    /// Releases a connection's wired path.
+    pub fn release(&mut self, conn: ConnectionId) -> Result<(), WiredError> {
+        let (bw, path) = self.paths.remove(&conn).ok_or(WiredError::NotAllocated)?;
+        for link in path {
+            self.links[link.index()].used -= bw;
+        }
+        Ok(())
+    }
+
+    /// Whether re-routing `conn` to `new_cell` would succeed (non-mutating).
+    pub fn can_reroute(&self, conn: ConnectionId, new_cell: CellId) -> bool {
+        let Some((bw, old_path)) = self.paths.get(&conn) else {
+            return false;
+        };
+        let Some(&bs) = self.bs_of_cell.get(&new_cell) else {
+            return false;
+        };
+        // Trial routing against residual capacity *plus* the old path's
+        // own holdings (they would be released): approximate by allowing
+        // links on the old path unconditionally.
+        self.trial_path(bs, *bw, old_path).is_some()
+    }
+
+    /// Like `min_hop_path` but treats links on `held` as feasible (their
+    /// bandwidth would be reclaimed by the re-route).
+    fn trial_path(&self, from: NodeId, bw: Bandwidth, held: &[LinkId]) -> Option<Vec<LinkId>> {
+        if from == self.gateway {
+            return Some(Vec::new());
+        }
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        visited[from.index()] = true;
+        let mut queue = VecDeque::from([from]);
+        'bfs: while let Some(node) = queue.pop_front() {
+            for &(link, nb) in &self.adjacency[node.index()] {
+                let feasible =
+                    self.links[link.index()].free() >= bw || held.contains(&link);
+                if visited[nb.index()] || !feasible {
+                    continue;
+                }
+                visited[nb.index()] = true;
+                prev[nb.index()] = Some((node, link));
+                if nb == self.gateway {
+                    break 'bfs;
+                }
+                queue.push_back(nb);
+            }
+        }
+        if !visited[self.gateway.index()] {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut node = self.gateway;
+        while node != from {
+            let (p, link) = prev[node.index()].expect("reconstruction");
+            path.push(link);
+            node = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Re-routes `conn` to `new_cell` (hand-off), keeping the shared path
+    /// suffix toward the gateway (crossover routing). On failure the old
+    /// path is left intact and an error returned.
+    pub fn reroute(&mut self, conn: ConnectionId, new_cell: CellId) -> Result<(), WiredError> {
+        let (bw, old_path) = self
+            .paths
+            .get(&conn)
+            .cloned()
+            .ok_or(WiredError::NotAllocated)?;
+        let &bs = self
+            .bs_of_cell
+            .get(&new_cell)
+            .ok_or(WiredError::UnknownCell)?;
+        let new_path = self
+            .trial_path(bs, bw, &old_path)
+            .ok_or(WiredError::NoFeasiblePath)?;
+        // Commit: release the old links, claim the new ones. Shared links
+        // net out (release then claim), but count as "kept" in the stats
+        // when they occupy the same gateway-side suffix.
+        let shared = old_path
+            .iter()
+            .rev()
+            .zip(new_path.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count();
+        self.reroute_links_kept += shared as u64;
+        self.reroute_links_changed += (new_path.len() - shared) as u64;
+        for &link in &old_path {
+            self.links[link.index()].used -= bw;
+        }
+        for &link in &new_path {
+            self.links[link.index()].used += bw;
+        }
+        self.paths.insert(conn, (bw, new_path));
+        Ok(())
+    }
+
+    /// Bandwidth-accounting invariant: every link's usage equals the sum
+    /// of allocations crossing it.
+    pub fn check_invariants(&self) -> bool {
+        let mut expected = vec![Bandwidth::ZERO; self.links.len()];
+        for (bw, path) in self.paths.values() {
+            for &link in path {
+                expected[link.index()] += *bw;
+            }
+        }
+        self.links
+            .iter()
+            .zip(expected)
+            .all(|(l, e)| l.used == e && l.used <= l.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw(x: u32) -> Bandwidth {
+        Bandwidth::from_bus(x)
+    }
+
+    #[test]
+    fn star_allocates_and_releases() {
+        let mut net = WiredNetwork::star(3, bw(10), bw(100));
+        assert_eq!(net.num_nodes(), 5);
+        assert_eq!(net.num_links(), 4);
+        assert!(net.can_allocate(CellId(0), bw(4)));
+        net.allocate(ConnectionId(1), CellId(0), bw(4)).unwrap();
+        assert!(net.check_invariants());
+        // Access link holds 4, trunk holds 4.
+        assert!(net.can_allocate(CellId(0), bw(6)));
+        assert!(!net.can_allocate(CellId(0), bw(7)), "access link has 6 free");
+        net.release(ConnectionId(1)).unwrap();
+        assert!(net.can_allocate(CellId(0), bw(10)));
+        assert!(net.check_invariants());
+    }
+
+    #[test]
+    fn trunk_capacity_limits_everyone() {
+        let mut net = WiredNetwork::star(4, bw(100), bw(10));
+        for i in 0..2 {
+            net.allocate(ConnectionId(i), CellId(i as u32), bw(4)).unwrap();
+        }
+        // Trunk at 8/10: a 4-BU connection cannot fit anywhere.
+        for cell in 0..4u32 {
+            assert!(!net.can_allocate(CellId(cell), bw(4)));
+        }
+        assert!(net.can_allocate(CellId(3), bw(2)));
+    }
+
+    #[test]
+    fn double_allocate_and_unknown_release_rejected() {
+        let mut net = WiredNetwork::star(2, bw(10), bw(10));
+        net.allocate(ConnectionId(1), CellId(0), bw(1)).unwrap();
+        assert_eq!(
+            net.allocate(ConnectionId(1), CellId(0), bw(1)),
+            Err(WiredError::AlreadyAllocated)
+        );
+        assert_eq!(net.release(ConnectionId(9)), Err(WiredError::NotAllocated));
+        assert_eq!(
+            net.allocate(ConnectionId(2), CellId(7), bw(1)),
+            Err(WiredError::UnknownCell)
+        );
+    }
+
+    #[test]
+    fn reroute_moves_access_keeps_trunk() {
+        let mut net = WiredNetwork::star(3, bw(10), bw(100));
+        net.allocate(ConnectionId(1), CellId(0), bw(4)).unwrap();
+        assert!(net.can_reroute(ConnectionId(1), CellId(1)));
+        net.reroute(ConnectionId(1), CellId(1)).unwrap();
+        assert!(net.check_invariants());
+        // Old access link is free again: cell 0 can take a full 10 BU.
+        assert!(net.can_allocate(CellId(0), bw(10)));
+        // New access link holds 4: cell 1 fits at most 6 more.
+        assert!(net.can_allocate(CellId(1), bw(6)));
+        assert!(!net.can_allocate(CellId(1), bw(7)));
+        let (changed, kept) = net.reroute_stats();
+        // Star: the BS→MSC link changes, the MSC→gateway trunk is kept.
+        assert_eq!(changed, 1);
+        assert_eq!(kept, 1);
+    }
+
+    #[test]
+    fn failed_reroute_preserves_old_path() {
+        // Two BSs; the second's access link is too small.
+        let mut b = WiredNetworkBuilder::new();
+        let gw = b.node(NodeKind::Gateway);
+        let bs0 = b.node(NodeKind::BaseStation(CellId(0)));
+        let bs1 = b.node(NodeKind::BaseStation(CellId(1)));
+        b.link(bs0, gw, bw(10));
+        b.link(bs1, gw, bw(2));
+        let mut net = b.build();
+        net.allocate(ConnectionId(1), CellId(0), bw(4)).unwrap();
+        assert!(!net.can_reroute(ConnectionId(1), CellId(1)));
+        assert_eq!(
+            net.reroute(ConnectionId(1), CellId(1)),
+            Err(WiredError::NoFeasiblePath)
+        );
+        // Old path intact.
+        assert!(net.check_invariants());
+        net.release(ConnectionId(1)).unwrap();
+        assert!(net.check_invariants());
+    }
+
+    #[test]
+    fn reroute_can_reuse_own_bandwidth() {
+        // A chain where the new path shares a saturated link with the old
+        // path: the connection's own holding makes it feasible.
+        let mut b = WiredNetworkBuilder::new();
+        let gw = b.node(NodeKind::Gateway);
+        let sw = b.node(NodeKind::Switch);
+        let bs0 = b.node(NodeKind::BaseStation(CellId(0)));
+        let bs1 = b.node(NodeKind::BaseStation(CellId(1)));
+        b.link(sw, gw, bw(4)); // exactly one 4-BU connection fits
+        b.link(bs0, sw, bw(10));
+        b.link(bs1, sw, bw(10));
+        let mut net = b.build();
+        net.allocate(ConnectionId(1), CellId(0), bw(4)).unwrap();
+        // The trunk is full, but the re-route reuses the holding.
+        assert!(net.can_reroute(ConnectionId(1), CellId(1)));
+        net.reroute(ConnectionId(1), CellId(1)).unwrap();
+        assert!(net.check_invariants());
+        assert_eq!(net.reroute_stats(), (1, 1));
+    }
+
+    #[test]
+    fn tree_sibling_handoff_stays_below_switch() {
+        let mut net = WiredNetwork::tree(4, 2, bw(10), bw(100));
+        net.allocate(ConnectionId(1), CellId(0), bw(4)).unwrap();
+        // Cells 0 and 1 share a switch: the trunk link is kept.
+        net.reroute(ConnectionId(1), CellId(1)).unwrap();
+        let (changed, kept) = net.reroute_stats();
+        assert_eq!((changed, kept), (1, 1));
+        // Cells 1 and 2 are under different switches: both access and
+        // trunk change.
+        net.reroute(ConnectionId(1), CellId(2)).unwrap();
+        let (changed2, _) = net.reroute_stats();
+        assert_eq!(changed2 - changed, 2);
+        assert!(net.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one gateway")]
+    fn gateway_required() {
+        let mut b = WiredNetworkBuilder::new();
+        b.node(NodeKind::Switch);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reach the gateway")]
+    fn disconnected_bs_rejected() {
+        let mut b = WiredNetworkBuilder::new();
+        let _gw = b.node(NodeKind::Gateway);
+        b.node(NodeKind::BaseStation(CellId(0)));
+        let _ = b.build();
+    }
+
+    #[test]
+    fn node_kinds_exposed() {
+        let net = WiredNetwork::star(1, bw(1), bw(1));
+        let kinds: Vec<NodeKind> = (0..net.num_nodes() as u32)
+            .map(|i| net.node_kind(NodeId(i)))
+            .collect();
+        assert!(kinds.contains(&NodeKind::Gateway));
+        assert!(kinds.contains(&NodeKind::Switch));
+        assert!(kinds.contains(&NodeKind::BaseStation(CellId(0))));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the event queue's ordering contract — the
+//! foundation of run determinism.
+
+use proptest::prelude::*;
+use qres_des::{EventQueue, SimTime};
+
+proptest! {
+    /// Pops come out sorted by time, FIFO within equal times, regardless
+    /// of the schedule order.
+    #[test]
+    fn pops_sorted_and_fifo(times in prop::collection::vec(0u32..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(f64::from(t)), seq);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = 0;
+        while let Some((t, seq)) = q.pop() {
+            popped += 1;
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(seq > lseq, "FIFO violated among ties");
+                }
+            }
+            last = Some((t, seq));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancellation removes exactly the cancelled events, whatever the
+    /// interleaving of schedules and cancels.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u32..50, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_secs(f64::from(t)), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, handle) in handles {
+            let cancel = cancel_mask.get(i).copied().unwrap_or(false);
+            if cancel {
+                prop_assert!(q.cancel(handle));
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut seen: Vec<usize> = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// live_len always equals the number of events that will still pop.
+    #[test]
+    fn live_len_is_exact(
+        ops in prop::collection::vec((0u32..50, any::<bool>()), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let mut live = 0usize;
+        let mut handles = Vec::new();
+        for &(t, cancel_one) in &ops {
+            handles.push(q.schedule(SimTime::from_secs(f64::from(t)), ()));
+            live += 1;
+            if cancel_one && live > 0 {
+                // Cancel the oldest still-live handle.
+                if let Some(h) = handles.pop() {
+                    if q.cancel(h) {
+                        live -= 1;
+                    }
+                }
+            }
+            prop_assert_eq!(q.live_len(), live);
+        }
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, live);
+    }
+}

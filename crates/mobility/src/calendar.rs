@@ -1,0 +1,135 @@
+//! Weekday / weekend pattern separation.
+//!
+//! Section 3.1: "another set of quadruplets will be cached for these special
+//! days, and the hand-off estimation functions for weekends … will be built
+//! using Eqs. (2) and (3) by replacing `T_day` and `N_win-days` with
+//! `T_week = 7 (days)` and `N_win-weeks`". This module classifies
+//! simulation instants into day classes so the cache can route quadruplets
+//! into per-class sets.
+
+use qres_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The traffic-pattern class of a day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DayClass {
+    /// A regular weekday (daily periodic pattern, `T_day`).
+    Weekday,
+    /// A weekend day or holiday (weekly periodic pattern, `T_week`).
+    Weekend,
+}
+
+/// Maps simulation time to [`DayClass`].
+///
+/// Simulation day 0 is a configurable weekday index (0 = Monday); days with
+/// index 5 or 6 within each week are weekends, and an explicit holiday list
+/// can override individual days.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Calendar {
+    /// Weekday index of simulation day 0 (0 = Monday … 6 = Sunday).
+    start_weekday: u8,
+    /// Additional whole simulation days treated as weekend/holiday.
+    holidays: Vec<i64>,
+}
+
+impl Calendar {
+    /// A calendar starting on Monday with no holidays.
+    pub fn starting_monday() -> Self {
+        Calendar {
+            start_weekday: 0,
+            holidays: Vec::new(),
+        }
+    }
+
+    /// A calendar whose day 0 falls on the given weekday (0 = Monday).
+    pub fn starting_on(weekday: u8) -> Self {
+        assert!(weekday < 7, "weekday index must be 0..7");
+        Calendar {
+            start_weekday: weekday,
+            holidays: Vec::new(),
+        }
+    }
+
+    /// Marks a whole simulation day as a holiday (classified `Weekend`).
+    pub fn with_holiday(mut self, day_index: i64) -> Self {
+        self.holidays.push(day_index);
+        self
+    }
+
+    /// The weekday index (0 = Monday … 6 = Sunday) of an instant.
+    pub fn weekday_of(&self, t: SimTime) -> u8 {
+        let day = t.day_index();
+        ((day + i64::from(self.start_weekday)).rem_euclid(7)) as u8
+    }
+
+    /// Classifies an instant.
+    pub fn classify(&self, t: SimTime) -> DayClass {
+        if self.holidays.contains(&t.day_index()) {
+            return DayClass::Weekend;
+        }
+        if self.weekday_of(t) >= 5 {
+            DayClass::Weekend
+        } else {
+            DayClass::Weekday
+        }
+    }
+}
+
+impl Default for Calendar {
+    fn default() -> Self {
+        Self::starting_monday()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(d: f64) -> SimTime {
+        SimTime::from_days(d)
+    }
+
+    #[test]
+    fn week_structure_from_monday() {
+        let cal = Calendar::starting_monday();
+        for d in 0..5 {
+            assert_eq!(cal.classify(day(d as f64 + 0.5)), DayClass::Weekday);
+        }
+        assert_eq!(cal.classify(day(5.5)), DayClass::Weekend);
+        assert_eq!(cal.classify(day(6.5)), DayClass::Weekend);
+        assert_eq!(cal.classify(day(7.5)), DayClass::Weekday);
+    }
+
+    #[test]
+    fn offset_start_day() {
+        // Start on Saturday (index 5).
+        let cal = Calendar::starting_on(5);
+        assert_eq!(cal.classify(day(0.5)), DayClass::Weekend);
+        assert_eq!(cal.classify(day(1.5)), DayClass::Weekend);
+        assert_eq!(cal.classify(day(2.5)), DayClass::Weekday);
+        assert_eq!(cal.weekday_of(day(2.5)), 0);
+    }
+
+    #[test]
+    fn holidays_override() {
+        let cal = Calendar::starting_monday().with_holiday(2);
+        assert_eq!(cal.classify(day(2.5)), DayClass::Weekend);
+        assert_eq!(cal.classify(day(3.5)), DayClass::Weekday);
+    }
+
+    #[test]
+    fn negative_times_classify() {
+        let cal = Calendar::starting_monday();
+        // Day -1 is Sunday, day -2 Saturday, day -3 Friday when day 0 is
+        // Monday. day(-0.5) falls in day -1, day(-1.5) in day -2, etc.
+        assert_eq!(cal.classify(day(-0.5)), DayClass::Weekend);
+        assert_eq!(cal.classify(day(-1.5)), DayClass::Weekend);
+        assert_eq!(cal.classify(day(-2.5)), DayClass::Weekday);
+    }
+
+    #[test]
+    #[should_panic(expected = "weekday index")]
+    fn bad_start_weekday_rejected() {
+        let _ = Calendar::starting_on(7);
+    }
+}

@@ -1,0 +1,220 @@
+//! Hand-off probability estimation (Eq. 4).
+//!
+//! For a connection `C_0,j` in the current cell with previous cell
+//! `prev(C_0,j)` and extant sojourn time `T_ext-soj`, the probability that
+//! it hands off into cell `next` within the estimation window `T_est` is,
+//! by Bayes' theorem over the hand-off estimation function:
+//!
+//! ```text
+//!                    Σ F_HOE(t_o, prev, next, T_soj)   over T_ext < T_soj ≤ T_ext + T_est
+//! p_h(C_0,j → next) = ─────────────────────────────────────────────────────────────────
+//!                    Σ Σ F_HOE(t_o, prev, next', T_soj) over next' ∈ A_0, T_soj > T_ext
+//! ```
+//!
+//! A zero denominator means no cached mobile with this history stayed
+//! longer than the connection already has: the mobile is estimated
+//! **stationary** and `p_h = 0` (paper, Fig. 5 discussion).
+
+use qres_cellnet::CellId;
+use qres_des::{Duration, SimTime};
+
+use crate::cache::{HoeCache, PrevKey};
+
+/// The inputs of one Eq.-4 evaluation, bundled for readability at call
+/// sites (the reservation loop evaluates thousands of these per second of
+/// simulated time).
+#[derive(Debug, Clone, Copy)]
+pub struct HandoffQuery {
+    /// Current time `t_o`.
+    pub now: SimTime,
+    /// The connection's previous cell (`None` = started in this cell).
+    pub prev: PrevKey,
+    /// The connection's extant sojourn time `T_ext-soj`.
+    pub extant_sojourn: Duration,
+    /// The candidate next cell.
+    pub next: CellId,
+    /// The estimation window `T_est` — the *next* cell's adaptive window,
+    /// per Section 4.1 ("the estimation time `T_est` of cell `next` will
+    /// be used in Eq. 4").
+    pub t_est: Duration,
+}
+
+/// Evaluates `p_h(C → next)` (Eq. 4) against `cache`, the HOE cache of the
+/// cell the connection currently resides in.
+///
+/// Returns a probability in `[0, 1]`.
+pub fn handoff_probability(cache: &mut HoeCache, query: HandoffQuery) -> f64 {
+    debug_assert!(
+        query.extant_sojourn.as_secs() >= 0.0,
+        "extant sojourn cannot be negative"
+    );
+    debug_assert!(query.t_est.as_secs() >= 0.0, "T_est cannot be negative");
+    let denominator = cache.weight_prev_gt(query.now, query.prev, query.extant_sojourn);
+    if denominator <= 0.0 {
+        return 0.0; // estimated stationary
+    }
+    let numerator = cache.weight_pair_in(
+        query.now,
+        query.prev,
+        query.next,
+        query.extant_sojourn,
+        query.t_est,
+    );
+    debug_assert!(
+        numerator <= denominator + 1e-9,
+        "numerator {numerator} exceeds denominator {denominator}"
+    );
+    (numerator / denominator).clamp(0.0, 1.0)
+}
+
+/// The known-route variant (Section 7's ITS/GPS extension): the next cell
+/// is *known*, so the estimation function conditions on the pair and only
+/// the hand-off time is estimated:
+/// `P(T_soj ≤ T_ext + T_est | T_soj > T_ext, next)`.
+pub fn known_next_probability(cache: &mut HoeCache, query: HandoffQuery) -> f64 {
+    let denominator =
+        cache.weight_pair_gt(query.now, query.prev, query.next, query.extant_sojourn);
+    if denominator <= 0.0 {
+        return 0.0;
+    }
+    let numerator = cache.weight_pair_in(
+        query.now,
+        query.prev,
+        query.next,
+        query.extant_sojourn,
+        query.t_est,
+    );
+    (numerator / denominator).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::HoeConfig;
+    use crate::quadruplet::HandoffEvent;
+
+    fn s(x: f64) -> Duration {
+        Duration::from_secs(x)
+    }
+
+    fn trained_cache() -> HoeCache {
+        // Cell history for prev = 1: 4 departures to cell 2 with sojourns
+        // 20, 30, 40, 50; 2 departures to cell 4 with sojourns 60, 80.
+        let mut c = HoeCache::new(HoeConfig::stationary());
+        let mut t = 0.0;
+        for soj in [20.0, 30.0, 40.0, 50.0] {
+            t += 1.0;
+            c.record(HandoffEvent::new(
+                SimTime::from_secs(t),
+                Some(CellId(1)),
+                CellId(2),
+                s(soj),
+            ));
+        }
+        for soj in [60.0, 80.0] {
+            t += 1.0;
+            c.record(HandoffEvent::new(
+                SimTime::from_secs(t),
+                Some(CellId(1)),
+                CellId(4),
+                s(soj),
+            ));
+        }
+        c
+    }
+
+    fn q(prev: Option<u32>, ext: f64, next: u32, t_est: f64) -> HandoffQuery {
+        HandoffQuery {
+            now: SimTime::from_secs(1_000.0),
+            prev: prev.map(CellId),
+            extant_sojourn: s(ext),
+            next: CellId(next),
+            t_est: s(t_est),
+        }
+    }
+
+    #[test]
+    fn fresh_connection_probabilities() {
+        let mut c = trained_cache();
+        // T_ext = 0, T_est = 45: sojourns ≤ 45 toward cell 2 are 20, 30,
+        // 40 of 6 total → 0.5.
+        assert_eq!(handoff_probability(&mut c, q(Some(1), 0.0, 2, 45.0)), 0.5);
+        // Toward cell 4 within 45 s: none.
+        assert_eq!(handoff_probability(&mut c, q(Some(1), 0.0, 4, 45.0)), 0.0);
+        // Window covering everything: 2/6 toward cell 4.
+        assert!(
+            (handoff_probability(&mut c, q(Some(1), 0.0, 4, 100.0)) - 2.0 / 6.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn conditioning_on_extant_sojourn() {
+        let mut c = trained_cache();
+        // T_ext = 45: surviving histories are 50, 60, 80 (3 of them).
+        // Toward cell 2 within (45, 55]: just the 50 → 1/3.
+        assert!(
+            (handoff_probability(&mut c, q(Some(1), 45.0, 2, 10.0)) - 1.0 / 3.0).abs() < 1e-12
+        );
+        // Toward cell 4 within (45, 65]: the 60 → 1/3.
+        assert!(
+            (handoff_probability(&mut c, q(Some(1), 45.0, 4, 20.0)) - 1.0 / 3.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn stationary_when_no_history_survives() {
+        let mut c = trained_cache();
+        // T_ext = 90 exceeds every cached sojourn → stationary → 0.
+        assert_eq!(handoff_probability(&mut c, q(Some(1), 90.0, 2, 1000.0)), 0.0);
+    }
+
+    #[test]
+    fn unknown_prev_is_stationary() {
+        let mut c = trained_cache();
+        // No history at all for prev = 7.
+        assert_eq!(handoff_probability(&mut c, q(Some(7), 0.0, 2, 100.0)), 0.0);
+        assert_eq!(handoff_probability(&mut c, q(None, 0.0, 2, 100.0)), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_t_est() {
+        let mut c = trained_cache();
+        let mut last = 0.0;
+        for t_est in [5.0, 15.0, 25.0, 35.0, 45.0, 65.0, 85.0] {
+            let p = handoff_probability(&mut c, q(Some(1), 0.0, 2, t_est));
+            assert!(p >= last, "p_h must be non-decreasing in T_est");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn total_probability_never_exceeds_one() {
+        let mut c = trained_cache();
+        for ext in [0.0, 25.0, 45.0, 70.0] {
+            let p2 = handoff_probability(&mut c, q(Some(1), ext, 2, 200.0));
+            let p4 = handoff_probability(&mut c, q(Some(1), ext, 4, 200.0));
+            assert!(p2 + p4 <= 1.0 + 1e-12, "Σ p_h ≤ 1 (ext = {ext})");
+        }
+    }
+
+    #[test]
+    fn known_next_conditions_on_pair() {
+        let mut c = trained_cache();
+        // Known route to cell 4, T_ext = 0, T_est = 65: sojourn 60 of the
+        // two pair-(1,4) histories → 0.5 (vs 1/6 unconditioned).
+        assert_eq!(known_next_probability(&mut c, q(Some(1), 0.0, 4, 65.0)), 0.5);
+        // Unknown pair → 0.
+        assert_eq!(known_next_probability(&mut c, q(Some(1), 0.0, 9, 65.0)), 0.0);
+    }
+
+    #[test]
+    fn known_next_at_least_general_probability() {
+        // Conditioning on the true next cell can only concentrate mass.
+        let mut c = trained_cache();
+        for (ext, t_est) in [(0.0, 30.0), (25.0, 30.0), (45.0, 40.0)] {
+            let general = handoff_probability(&mut c, q(Some(1), ext, 2, t_est));
+            let known = known_next_probability(&mut c, q(Some(1), ext, 2, t_est));
+            assert!(known >= general - 1e-12);
+        }
+    }
+}

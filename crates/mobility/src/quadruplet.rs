@@ -1,0 +1,91 @@
+//! The hand-off event quadruplet.
+
+use qres_des::{Duration, SimTime};
+use qres_cellnet::CellId;
+use serde::{Deserialize, Serialize};
+
+/// One observed hand-off out of a cell: the paper's quadruplet
+/// `(T_event, prev, next, T_soj)` (Section 3.1).
+///
+/// Recorded by a cell's BS **only for successful hand-offs** out of the
+/// cell: a dropped hand-off terminates the connection (the mobile never
+/// enters the next cell), and a connection that ends naturally inside the
+/// cell is not a hand-off. That asymmetry is what lets the estimator's
+/// zero-denominator case classify long-staying mobiles as stationary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandoffEvent {
+    /// `T_event` — when the mobile departed the current cell.
+    pub t_event: SimTime,
+    /// `prev` — the cell the mobile resided in before entering the current
+    /// cell; `None` encodes the paper's `prev = 0` ("the departed mobile
+    /// started its connection in the current cell").
+    pub prev: Option<CellId>,
+    /// `next` — the cell the mobile entered on departure.
+    pub next: CellId,
+    /// `T_soj` — the sojourn time: entry-to-departure span in this cell.
+    pub t_soj: Duration,
+}
+
+impl HandoffEvent {
+    /// Convenience constructor validating the sojourn time.
+    pub fn new(
+        t_event: SimTime,
+        prev: Option<CellId>,
+        next: CellId,
+        t_soj: Duration,
+    ) -> Self {
+        assert!(
+            t_soj.as_secs() >= 0.0,
+            "sojourn time cannot be negative (got {t_soj})"
+        );
+        HandoffEvent {
+            t_event,
+            prev,
+            next,
+            t_soj,
+        }
+    }
+
+    /// When the mobile entered the cell (`T_event − T_soj`).
+    pub fn entered_at(&self) -> SimTime {
+        self.t_event - self.t_soj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entered_at_is_event_minus_sojourn() {
+        let e = HandoffEvent::new(
+            SimTime::from_secs(100.0),
+            Some(CellId(1)),
+            CellId(2),
+            Duration::from_secs(30.0),
+        );
+        assert_eq!(e.entered_at(), SimTime::from_secs(70.0));
+    }
+
+    #[test]
+    fn prev_none_encodes_connection_start() {
+        let e = HandoffEvent::new(
+            SimTime::from_secs(10.0),
+            None,
+            CellId(3),
+            Duration::from_secs(5.0),
+        );
+        assert!(e.prev.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_sojourn_rejected() {
+        let _ = HandoffEvent::new(
+            SimTime::from_secs(1.0),
+            None,
+            CellId(0),
+            Duration::from_secs(-1.0),
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the HOE cache against a naive reference: the
+//! indexed snapshot must answer exactly like a direct scan of Eq. 2 / Eq. 3
+//! over the same quadruplets.
+
+use proptest::prelude::*;
+use qres_cellnet::CellId;
+use qres_des::{Duration, SimTime};
+use qres_mobility::{HandoffEvent, HoeCache, HoeConfig, WindowConfig};
+
+type RawEvent = (f64, Option<u32>, u32, f64); // (gap, prev, next, sojourn)
+
+fn events_strategy() -> impl Strategy<Value = Vec<RawEvent>> {
+    prop::collection::vec(
+        (0.0f64..500.0, prop::option::of(0u32..4), 0u32..4, 0.1f64..300.0),
+        1..80,
+    )
+}
+
+fn materialize(raw: &[RawEvent]) -> Vec<HandoffEvent> {
+    let mut t = 0.0;
+    raw.iter()
+        .map(|&(gap, prev, next, soj)| {
+            t += gap;
+            HandoffEvent::new(
+                SimTime::from_secs(t),
+                prev.map(CellId),
+                CellId(next),
+                Duration::from_secs(soj),
+            )
+        })
+        .collect()
+}
+
+/// Naive Eq. 4 numerator/denominator over the full event list (infinite
+/// window, N_quad large enough to select everything).
+fn naive_weights(
+    events: &[HandoffEvent],
+    prev: Option<CellId>,
+    next: CellId,
+    ext: f64,
+    t_est: f64,
+) -> (f64, f64) {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for e in events {
+        if e.prev != prev {
+            continue;
+        }
+        let s = e.t_soj.as_secs();
+        if s > ext {
+            den += 1.0;
+            if e.next == next && s <= ext + t_est {
+                num += 1.0;
+            }
+        }
+    }
+    (num, den)
+}
+
+proptest! {
+    /// With N_quad large, the indexed snapshot equals the naive scan.
+    #[test]
+    fn snapshot_matches_naive_scan(
+        raw in events_strategy(),
+        prev in prop::option::of(0u32..4),
+        next in 0u32..4,
+        ext in 0.0f64..200.0,
+        t_est in 0.0f64..200.0,
+    ) {
+        let events = materialize(&raw);
+        let mut config = HoeConfig::stationary();
+        config.n_quad = 10_000;
+        let mut cache = HoeCache::new(config);
+        for e in &events {
+            cache.record(*e);
+        }
+        let now = SimTime::from_secs(events.last().unwrap().t_event.as_secs() + 1.0);
+        let prev = prev.map(CellId);
+        let (num, den) = naive_weights(&events, prev, CellId(next), ext, t_est);
+        let got_den = cache.weight_prev_gt(now, prev, Duration::from_secs(ext));
+        let got_num = cache.weight_pair_in(
+            now,
+            prev,
+            CellId(next),
+            Duration::from_secs(ext),
+            Duration::from_secs(t_est),
+        );
+        prop_assert!((got_den - den).abs() < 1e-9, "den: got {got_den}, want {den}");
+        prop_assert!((got_num - num).abs() < 1e-9, "num: got {got_num}, want {num}");
+    }
+
+    /// With a small N_quad in infinite-window mode, only the most recent
+    /// N_quad per (prev, next) pair are selected — equal to the naive scan
+    /// over each pair's last N_quad events.
+    #[test]
+    fn n_quad_selects_most_recent(
+        raw in events_strategy(),
+        n_quad in 1usize..10,
+        prev in prop::option::of(0u32..4),
+        ext in 0.0f64..200.0,
+    ) {
+        let events = materialize(&raw);
+        let mut config = HoeConfig::stationary();
+        config.n_quad = n_quad;
+        let mut cache = HoeCache::new(config);
+        for e in &events {
+            cache.record(*e);
+        }
+        let now = SimTime::from_secs(events.last().unwrap().t_event.as_secs() + 1.0);
+        let prev = prev.map(CellId);
+        // Reference: last n_quad events per (prev, next) pair.
+        let mut expected = 0.0;
+        for next in 0..4u32 {
+            let pair_events: Vec<&HandoffEvent> = events
+                .iter()
+                .filter(|e| e.prev == prev && e.next == CellId(next))
+                .collect();
+            let keep = pair_events.len().saturating_sub(n_quad);
+            for e in &pair_events[keep..] {
+                if e.t_soj.as_secs() > ext {
+                    expected += 1.0;
+                }
+            }
+        }
+        let got = cache.weight_prev_gt(now, prev, Duration::from_secs(ext));
+        prop_assert!((got - expected).abs() < 1e-9, "got {got}, want {expected}");
+    }
+
+    /// Finite-window membership: the cache's selection agrees with a naive
+    /// Eq. 2 scan when every bucket is under-full (no per-bucket capping).
+    #[test]
+    fn finite_window_matches_naive_membership(
+        raw in prop::collection::vec(
+            (600.0f64..2_000.0, 0.1f64..300.0),
+            1..40,
+        ),
+        query_hour in 0.0f64..50.0,
+    ) {
+        let window = WindowConfig::paper_time_varying();
+        let mut config = HoeConfig::paper_time_varying();
+        config.n_quad = 10_000;
+        let mut cache = HoeCache::new(config);
+        let mut t = 0.0;
+        let mut events = Vec::new();
+        for &(gap, soj) in &raw {
+            t += gap;
+            let e = HandoffEvent::new(
+                SimTime::from_secs(t),
+                Some(CellId(1)),
+                CellId(2),
+                Duration::from_secs(soj),
+            );
+            cache.record(e);
+            events.push(e);
+        }
+        let now = SimTime::from_secs(t + query_hour * 3_600.0 + 1.0);
+        let expected: f64 = events
+            .iter()
+            .filter_map(|e| window.membership(now, e.t_event).map(|m| m.weight))
+            .sum();
+        let got = cache.weight_prev_gt(now, Some(CellId(1)), Duration::ZERO);
+        prop_assert!((got - expected).abs() < 1e-9, "got {got}, want {expected}");
+    }
+
+    /// max_sojourn equals the maximum over the selected quadruplets.
+    #[test]
+    fn max_sojourn_matches(raw in events_strategy()) {
+        let events = materialize(&raw);
+        let mut config = HoeConfig::stationary();
+        config.n_quad = 10_000;
+        let mut cache = HoeCache::new(config);
+        for e in &events {
+            cache.record(*e);
+        }
+        let now = SimTime::from_secs(events.last().unwrap().t_event.as_secs() + 1.0);
+        let expected = events
+            .iter()
+            .map(|e| e.t_soj.as_secs())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let got = cache.max_sojourn(now).unwrap().as_secs();
+        prop_assert!((got - expected).abs() < 1e-12);
+    }
+}

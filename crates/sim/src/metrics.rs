@@ -1,0 +1,409 @@
+//! Metric collection and run results.
+//!
+//! Exactly the quantities the paper reports:
+//!
+//! * per-cell and system-wide `P_CB` (blocked / requested connections) and
+//!   `P_HD` (dropped / attempted hand-offs, attributed to the **target**
+//!   cell — the cell whose reservation failed the mobile);
+//! * time-weighted averages of the target reservation bandwidth `B_r` and
+//!   used bandwidth `B_u` per cell (Fig. 9) — updated at the event instants
+//!   where those piecewise-constant signals change, so the averages are
+//!   exact, not sampled;
+//! * traces of `T_est`, `B_r` and the running `P_HD` for selected cells
+//!   (Figs. 10–11);
+//! * hourly `P_CB`/`P_HD` buckets and request counts for the time-varying
+//!   experiment (Fig. 14).
+
+use std::collections::BTreeMap;
+
+use qres_cellnet::{CellId, MessageStats};
+use qres_des::SimTime;
+use qres_stats::{HourlyBuckets, RatioCounter, TimeSeries, TimeWeighted};
+use serde::{Deserialize, Serialize};
+
+/// Per-cell accumulators.
+#[derive(Debug, Clone)]
+struct CellMetrics {
+    cb: RatioCounter,
+    hd: RatioCounter,
+    br: TimeWeighted,
+    bu: TimeWeighted,
+}
+
+/// Traces for one observed cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellTraces {
+    /// `T_est` over time (changes at hand-off observations).
+    pub t_est: TimeSeries,
+    /// `B_r` over time (changes at admission tests).
+    pub b_r: TimeSeries,
+    /// Running `P_HD` over time (changes at hand-off attempts).
+    pub p_hd: TimeSeries,
+}
+
+/// Live metric state during a run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    start: SimTime,
+    cells: Vec<CellMetrics>,
+    hourly_cb: HourlyBuckets,
+    hourly_hd: HourlyBuckets,
+    hourly_requests: Vec<u64>,
+    traces: BTreeMap<u32, CellTraces>,
+}
+
+impl Metrics {
+    /// Creates metrics for `num_cells` cells covering `total_hours` of
+    /// hourly buckets, tracing the given cells.
+    pub fn new(num_cells: usize, start: SimTime, total_hours: usize, trace_cells: &[CellId]) -> Self {
+        let traces = trace_cells
+            .iter()
+            .map(|&c| {
+                (
+                    c.0,
+                    CellTraces {
+                        t_est: TimeSeries::new(format!("t_est_cell{}", c.0)),
+                        b_r: TimeSeries::new(format!("b_r_cell{}", c.0)),
+                        p_hd: TimeSeries::new(format!("p_hd_cell{}", c.0)),
+                    },
+                )
+            })
+            .collect();
+        Metrics {
+            start,
+            cells: (0..num_cells)
+                .map(|_| CellMetrics {
+                    cb: RatioCounter::new(),
+                    hd: RatioCounter::new(),
+                    br: TimeWeighted::new(start, 0.0),
+                    bu: TimeWeighted::new(start, 0.0),
+                })
+                .collect(),
+            hourly_cb: HourlyBuckets::new("p_cb", total_hours),
+            hourly_hd: HourlyBuckets::new("p_hd", total_hours),
+            hourly_requests: vec![0; total_hours.max(1)],
+            traces,
+        }
+    }
+
+    /// Records a new-connection request (including retries) and its fate.
+    pub fn record_request(&mut self, now: SimTime, cell: CellId, blocked: bool) {
+        self.cells[cell.index()].cb.record(blocked);
+        self.hourly_cb.record(now, blocked);
+        let hour = now.as_hours();
+        if hour >= 0.0 {
+            if let Some(slot) = self.hourly_requests.get_mut(hour.floor() as usize) {
+                *slot += 1;
+            }
+        }
+    }
+
+    /// Records a hand-off attempt into `target` and its fate; updates the
+    /// running-`P_HD` trace if the target is traced.
+    pub fn record_handoff(&mut self, now: SimTime, target: CellId, dropped: bool) {
+        let cm = &mut self.cells[target.index()];
+        cm.hd.record(dropped);
+        self.hourly_hd.record(now, dropped);
+        let running = cm.hd.ratio_or_zero();
+        if let Some(tr) = self.traces.get_mut(&target.0) {
+            tr.p_hd.push(now, running);
+        }
+    }
+
+    /// Advances a cell's `B_r` signal (call at each admission test that
+    /// recomputed it).
+    pub fn update_br(&mut self, now: SimTime, cell: CellId, value: f64) {
+        self.cells[cell.index()].br.update(now, value);
+        if let Some(tr) = self.traces.get_mut(&cell.0) {
+            tr.b_r.push(now, value);
+        }
+    }
+
+    /// Advances a cell's used-bandwidth signal (call after each admission,
+    /// hand-off or release).
+    pub fn update_bu(&mut self, now: SimTime, cell: CellId, used_bus: u32) {
+        self.cells[cell.index()].bu.update(now, f64::from(used_bus));
+    }
+
+    /// Records a traced cell's `T_est` (call after hand-off observations).
+    pub fn trace_t_est(&mut self, now: SimTime, cell: CellId, t_est_secs: u64) {
+        if let Some(tr) = self.traces.get_mut(&cell.0) {
+            tr.t_est.push(now, t_est_secs as f64);
+        }
+    }
+
+    /// Discards counters at the end of a warm-up period, restarting the
+    /// time-weighted integrals from the signals' current values.
+    pub fn reset_for_measurement(&mut self, now: SimTime) {
+        self.start = now;
+        for cm in &mut self.cells {
+            cm.cb.reset();
+            cm.hd.reset();
+            cm.br = TimeWeighted::new(now, cm.br.current());
+            cm.bu = TimeWeighted::new(now, cm.bu.current());
+        }
+        // Hourly buckets and traces intentionally keep pre-warm-up data:
+        // they are time-indexed, so the reader sees the whole run.
+    }
+
+    /// Finalizes into a [`RunResult`] at the run horizon.
+    #[allow(clippy::too_many_arguments)]
+    pub fn finalize(
+        self,
+        label: String,
+        now: SimTime,
+        final_t_est: &[u64],
+        final_br: &[f64],
+        final_bu: &[u32],
+        n_calc_mean: f64,
+        signaling: MessageStats,
+        events_dispatched: u64,
+    ) -> RunResult {
+        assert_eq!(final_t_est.len(), self.cells.len());
+        let cells: Vec<CellSummary> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, cm)| CellSummary {
+                cell: CellId(i as u32),
+                requests: cm.cb.trials(),
+                blocked: cm.cb.hits(),
+                handoffs: cm.hd.trials(),
+                drops: cm.hd.hits(),
+                p_cb: cm.cb.ratio_or_zero(),
+                p_hd: cm.hd.ratio_or_zero(),
+                t_est_secs: final_t_est[i],
+                b_r_final: final_br[i],
+                b_u_final: final_bu[i],
+                b_r_avg: cm.br.mean(now).unwrap_or(0.0),
+                b_u_avg: cm.bu.mean(now).unwrap_or(0.0),
+            })
+            .collect();
+        let mut system_cb = RatioCounter::new();
+        let mut system_hd = RatioCounter::new();
+        for cm in &self.cells {
+            system_cb.merge(&cm.cb);
+            system_hd.merge(&cm.hd);
+        }
+        RunResult {
+            label,
+            duration_secs: (now - self.start).as_secs(),
+            cells,
+            system_cb,
+            system_hd,
+            n_calc_mean,
+            signaling,
+            events_dispatched,
+            hourly_cb: self.hourly_cb.midpoint_series(),
+            hourly_hd: self.hourly_hd.midpoint_series(),
+            hourly_requests: self.hourly_requests,
+            traces: self.traces,
+        }
+    }
+}
+
+/// End-of-run status of one cell (a Table 2 row).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// The cell.
+    pub cell: CellId,
+    /// New-connection requests seen (including retries).
+    pub requests: u64,
+    /// Requests blocked.
+    pub blocked: u64,
+    /// Hand-off attempts into this cell.
+    pub handoffs: u64,
+    /// Hand-offs dropped.
+    pub drops: u64,
+    /// `P_CB` of this cell.
+    pub p_cb: f64,
+    /// `P_HD` of this cell.
+    pub p_hd: f64,
+    /// `T_est` at the end of the run (seconds).
+    pub t_est_secs: u64,
+    /// `B_r` at the end of the run.
+    pub b_r_final: f64,
+    /// Used bandwidth at the end of the run (BUs).
+    pub b_u_final: u32,
+    /// Time-weighted average `B_r`.
+    pub b_r_avg: f64,
+    /// Time-weighted average used bandwidth.
+    pub b_u_avg: f64,
+}
+
+/// The complete outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Human-readable scheme/scenario label.
+    pub label: String,
+    /// Measured span in seconds (post warm-up).
+    pub duration_secs: f64,
+    /// Per-cell summaries.
+    pub cells: Vec<CellSummary>,
+    /// System-wide connection-blocking counter.
+    pub system_cb: RatioCounter,
+    /// System-wide hand-off-drop counter.
+    pub system_hd: RatioCounter,
+    /// Mean `N_calc` per admission test (Fig. 13).
+    pub n_calc_mean: f64,
+    /// Backbone signaling totals.
+    pub signaling: MessageStats,
+    /// Events dispatched by the DES (a size/sanity indicator).
+    pub events_dispatched: u64,
+    /// Hourly `P_CB` series `(hour midpoint, ratio)` (Fig. 14b).
+    pub hourly_cb: Vec<(f64, f64)>,
+    /// Hourly `P_HD` series (Fig. 14b).
+    pub hourly_hd: Vec<(f64, f64)>,
+    /// Requests (incl. retries) per hour — the actual-load indicator
+    /// (Fig. 14a's `L_a`).
+    pub hourly_requests: Vec<u64>,
+    /// Traces for the cells requested in the scenario.
+    pub traces: BTreeMap<u32, CellTraces>,
+}
+
+impl RunResult {
+    /// System-wide `P_CB`.
+    pub fn p_cb(&self) -> f64 {
+        self.system_cb.ratio_or_zero()
+    }
+
+    /// System-wide `P_HD`.
+    pub fn p_hd(&self) -> f64 {
+        self.system_hd.ratio_or_zero()
+    }
+
+    /// Mean over cells of the time-weighted average `B_r` (Fig. 9 series).
+    pub fn avg_br(&self) -> f64 {
+        average(self.cells.iter().map(|c| c.b_r_avg))
+    }
+
+    /// Mean over cells of the time-weighted average used bandwidth
+    /// (Fig. 9 series).
+    pub fn avg_bu(&self) -> f64 {
+        average(self.cells.iter().map(|c| c.b_u_avg))
+    }
+
+    /// Converts an hourly request count into the actual offered load `L_a`
+    /// per cell (Eq. 7 applied to the measured rate).
+    pub fn actual_load_at_hour(&self, hour: usize, mean_bandwidth: f64, mean_lifetime: f64) -> f64 {
+        let requests = *self.hourly_requests.get(hour).unwrap_or(&0) as f64;
+        let rate_per_cell = requests / 3_600.0 / self.cells.len() as f64;
+        rate_per_cell * mean_bandwidth * mean_lifetime
+    }
+}
+
+fn average(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn finalize(m: Metrics, now: SimTime, n: usize) -> RunResult {
+        m.finalize(
+            "test".into(),
+            now,
+            &vec![1; n],
+            &vec![0.0; n],
+            &vec![0; n],
+            1.0,
+            MessageStats::default(),
+            0,
+        )
+    }
+
+    #[test]
+    fn request_and_handoff_accounting() {
+        let mut m = Metrics::new(3, t(0.0), 1, &[]);
+        m.record_request(t(1.0), CellId(0), false);
+        m.record_request(t(2.0), CellId(0), true);
+        m.record_handoff(t(3.0), CellId(1), false);
+        m.record_handoff(t(4.0), CellId(1), true);
+        m.record_handoff(t(5.0), CellId(1), false);
+        let r = finalize(m, t(10.0), 3);
+        assert_eq!(r.cells[0].requests, 2);
+        assert_eq!(r.cells[0].blocked, 1);
+        assert_eq!(r.cells[0].p_cb, 0.5);
+        assert_eq!(r.cells[1].handoffs, 3);
+        assert_eq!(r.cells[1].drops, 1);
+        assert!((r.cells[1].p_hd - 1.0 / 3.0).abs() < 1e-12);
+        // System-wide aggregation.
+        assert_eq!(r.p_cb(), 0.5);
+        assert!((r.p_hd() - 1.0 / 3.0).abs() < 1e-12);
+        // Idle cells report zero, like the paper's tables.
+        assert_eq!(r.cells[2].p_cb, 0.0);
+        assert_eq!(r.cells[2].p_hd, 0.0);
+    }
+
+    #[test]
+    fn time_weighted_bandwidths() {
+        let mut m = Metrics::new(1, t(0.0), 1, &[]);
+        m.update_bu(t(0.0), CellId(0), 0);
+        m.update_bu(t(5.0), CellId(0), 10);
+        // 0 for 5 s, 10 for 5 s → mean 5 at t = 10.
+        let r = finalize(m, t(10.0), 1);
+        assert_eq!(r.cells[0].b_u_avg, 5.0);
+        assert_eq!(r.avg_bu(), 5.0);
+    }
+
+    #[test]
+    fn traces_record_only_requested_cells() {
+        let mut m = Metrics::new(3, t(0.0), 1, &[CellId(1)]);
+        m.trace_t_est(t(1.0), CellId(0), 5);
+        m.trace_t_est(t(1.0), CellId(1), 7);
+        m.update_br(t(2.0), CellId(1), 3.5);
+        m.record_handoff(t(3.0), CellId(1), true);
+        let r = finalize(m, t(10.0), 3);
+        assert_eq!(r.traces.len(), 1);
+        let tr = &r.traces[&1];
+        assert_eq!(tr.t_est.points(), &[(1.0, 7.0)]);
+        assert_eq!(tr.b_r.points(), &[(2.0, 3.5)]);
+        assert_eq!(tr.p_hd.points(), &[(3.0, 1.0)]);
+    }
+
+    #[test]
+    fn hourly_buckets_and_requests() {
+        let mut m = Metrics::new(2, t(0.0), 3, &[]);
+        m.record_request(SimTime::from_hours(0.5), CellId(0), true);
+        m.record_request(SimTime::from_hours(0.6), CellId(0), false);
+        m.record_request(SimTime::from_hours(2.5), CellId(1), false);
+        let r = finalize(m, SimTime::from_hours(3.0), 2);
+        assert_eq!(r.hourly_cb, vec![(0.5, 0.5), (2.5, 0.0)]);
+        assert_eq!(r.hourly_requests, vec![2, 0, 1]);
+        // L_a conversion: 2 requests in hour 0 over 2 cells.
+        let la = r.actual_load_at_hour(0, 1.0, 120.0);
+        assert!((la - 2.0 / 3_600.0 / 2.0 * 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_reset_discards_history() {
+        let mut m = Metrics::new(1, t(0.0), 1, &[]);
+        m.record_request(t(1.0), CellId(0), true);
+        m.update_bu(t(0.0), CellId(0), 100);
+        m.reset_for_measurement(t(10.0));
+        m.record_request(t(11.0), CellId(0), false);
+        m.update_bu(t(15.0), CellId(0), 0);
+        // Post-reset: 1 request, 0 blocked; B_u = 100 for 5 s then 0 for
+        // 5 s → mean 50 at t = 20.
+        let r = finalize(m, t(20.0), 1);
+        assert_eq!(r.cells[0].requests, 1);
+        assert_eq!(r.cells[0].p_cb, 0.0);
+        assert_eq!(r.cells[0].b_u_avg, 50.0);
+        assert_eq!(r.duration_secs, 10.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! One-call scenario execution and parameter sweeps.
+
+use crate::engine::Engine;
+use crate::metrics::RunResult;
+use crate::scenario::Scenario;
+
+/// Runs a scenario to completion.
+pub fn run_scenario(scenario: &Scenario) -> RunResult {
+    Engine::new(scenario.clone()).run()
+}
+
+/// One point of an offered-load sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept offered load `L`.
+    pub offered_load: f64,
+    /// The run's results.
+    pub result: RunResult,
+}
+
+/// Runs the scenario at each offered load (the x-axis of Figs. 7–9, 12,
+/// 13), keeping every other knob fixed. Each point uses a seed derived
+/// from the base seed and the load so points are independent but
+/// reproducible.
+pub fn sweep_offered_load(base: &Scenario, loads: &[f64]) -> Vec<SweepPoint> {
+    loads
+        .iter()
+        .map(|&load| {
+            let scenario = base
+                .clone()
+                .offered_load(load)
+                .seed(base.seed.wrapping_add((load * 1_000.0) as u64));
+            SweepPoint {
+                offered_load: load,
+                result: run_scenario(&scenario),
+            }
+        })
+        .collect()
+}
+
+/// The paper's offered-load grid (60 to 300).
+pub fn paper_load_grid() -> Vec<f64> {
+    vec![60.0, 80.0, 100.0, 120.0, 150.0, 180.0, 210.0, 240.0, 270.0, 300.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SchemeKind;
+
+    #[test]
+    fn sweep_produces_one_point_per_load() {
+        let base = Scenario::paper_baseline()
+            .scheme(SchemeKind::Ac1)
+            .duration_secs(120.0)
+            .seed(1);
+        let points = sweep_offered_load(&base, &[60.0, 300.0]);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].offered_load, 60.0);
+        // Heavier load blocks more.
+        assert!(points[1].result.p_cb() > points[0].result.p_cb());
+    }
+
+    #[test]
+    fn paper_grid_covers_60_to_300() {
+        let grid = paper_load_grid();
+        assert_eq!(*grid.first().unwrap(), 60.0);
+        assert_eq!(*grid.last().unwrap(), 300.0);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn run_scenario_matches_engine() {
+        let s = Scenario::paper_baseline().duration_secs(60.0).seed(3);
+        let a = run_scenario(&s);
+        let b = Engine::new(s).run();
+        assert_eq!(a.system_cb, b.system_cb);
+    }
+}

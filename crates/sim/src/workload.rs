@@ -1,0 +1,306 @@
+//! The stochastic workload processes (assumptions A2–A5).
+//!
+//! Each stochastic quantity draws from its own named RNG stream derived
+//! from the master seed ([`qres_des::RngFactory`]):
+//!
+//! * `"arrivals"`, indexed by cell — per-cell Poisson processes (A2);
+//! * `"attrs"` — per-arrival media class, position, speed, direction and
+//!   lifetime (A2–A5), sampled *before* the admission test so the stream
+//!   stays aligned whichever scheme accepts or rejects;
+//! * `"retry"` — the time-varying case's retry coin-flips (the only
+//!   scheme-dependent randomness, inherent to the feedback effect);
+//! * `"turns"` — direction reversals in the robustness extension.
+//!
+//! This is the *common random numbers* discipline: under one seed, AC1,
+//! AC2, AC3 and the static baseline face the identical arrival pattern.
+
+use qres_cellnet::MediaClass;
+use qres_des::{RngFactory, StreamRng};
+use rand::Rng;
+
+use crate::scenario::{DirectionMode, Scenario};
+
+/// The attribute bundle of one requested connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobileAttrs {
+    /// Voice or video (A3).
+    pub media: MediaClass,
+    /// Position within the origin cell as a fraction in `[0, 1)` (A2).
+    pub position_frac: f64,
+    /// Constant travel speed in km/h (A4).
+    pub speed_kmh: f64,
+    /// Travel heading (A4): on the road 0 = up, 1 = down; on a hex grid
+    /// one of the six [`qres_cellnet::HexDir`] indices.
+    pub heading: u8,
+    /// Total connection lifetime in seconds (A5, exponential).
+    pub lifetime_secs: f64,
+}
+
+/// Samples an exponential variate with the given mean via inversion.
+pub fn sample_exponential(rng: &mut StreamRng, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    // 1 - gen::<f64>() is in (0, 1], avoiding ln(0).
+    -mean * (1.0 - rng.gen::<f64>()).ln()
+}
+
+/// The per-run workload sampler.
+pub struct Workload {
+    arrival_rngs: Vec<StreamRng>,
+    attr_rng: StreamRng,
+    retry_rng: StreamRng,
+    turn_rng: StreamRng,
+    /// Current per-cell arrival rate λ (connections/s); uniform across
+    /// cells, updated hourly in time-varying mode.
+    arrival_rate: f64,
+    /// Current speed sampling range (km/h).
+    speed_range: (f64, f64),
+    voice_ratio: f64,
+    mean_lifetime: f64,
+    direction_mode: DirectionMode,
+    turn_probability: f64,
+    /// 2 on the 1-D road, 6 on a hex grid.
+    num_headings: u8,
+}
+
+impl Workload {
+    /// Builds the sampler for a scenario from the master seed.
+    pub fn new(scenario: &Scenario) -> Self {
+        let factory = RngFactory::new(scenario.seed);
+        Workload {
+            arrival_rngs: (0..scenario.num_cells as u64)
+                .map(|i| factory.stream("arrivals", i))
+                .collect(),
+            attr_rng: factory.stream("attrs", 0),
+            retry_rng: factory.stream("retry", 0),
+            turn_rng: factory.stream("turns", 0),
+            arrival_rate: scenario.arrival_rate(),
+            speed_range: scenario.speed_range_kmh,
+            voice_ratio: scenario.voice_ratio,
+            mean_lifetime: scenario.mean_lifetime_secs,
+            direction_mode: scenario.direction,
+            turn_probability: scenario.turn_probability,
+            num_headings: if scenario.hex_grid.is_some() { 6 } else { 2 },
+        }
+    }
+
+    /// Current per-cell arrival rate.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Updates the arrival rate (time-varying schedule).
+    pub fn set_arrival_rate(&mut self, rate: f64) {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        self.arrival_rate = rate;
+    }
+
+    /// Updates the speed range (time-varying schedule).
+    pub fn set_speed_range(&mut self, range: (f64, f64)) {
+        assert!(range.0 > 0.0 && range.1 >= range.0, "invalid speed range");
+        self.speed_range = range;
+    }
+
+    /// Samples the next inter-arrival gap for a cell (exponential, A2).
+    pub fn next_interarrival(&mut self, cell_index: usize) -> f64 {
+        let rate = self.arrival_rate;
+        sample_exponential(&mut self.arrival_rngs[cell_index], 1.0 / rate)
+    }
+
+    /// Samples a new connection's attribute bundle (A2–A5).
+    pub fn sample_attrs(&mut self) -> MobileAttrs {
+        let rng = &mut self.attr_rng;
+        let media = if rng.gen::<f64>() < self.voice_ratio {
+            MediaClass::Voice
+        } else {
+            MediaClass::Video
+        };
+        let position_frac = rng.gen::<f64>();
+        let (lo, hi) = self.speed_range;
+        let speed_kmh = lo + (hi - lo) * rng.gen::<f64>();
+        let heading = match self.direction_mode {
+            DirectionMode::AllUp => 0,
+            DirectionMode::Random => rng.gen_range(0..self.num_headings),
+        };
+        let lifetime_secs = sample_exponential(rng, self.mean_lifetime);
+        MobileAttrs {
+            media,
+            position_frac,
+            speed_kmh,
+            heading,
+            lifetime_secs,
+        }
+    }
+
+    /// Samples the new heading after a turn: anything but the current one,
+    /// uniformly (on the 2-heading road this is a reversal).
+    pub fn turn_target(&mut self, current: u8) -> u8 {
+        let offset = self.turn_rng.gen_range(1..self.num_headings);
+        (current + offset) % self.num_headings
+    }
+
+    /// Flips the retry coin with the given success probability.
+    pub fn retry_decision(&mut self, probability: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&probability));
+        probability > 0.0 && self.retry_rng.gen::<f64>() < probability
+    }
+
+    /// Whether a mobile reverses direction at a cell crossing (robustness
+    /// extension; always `false` under the paper's A4).
+    pub fn turn_decision(&mut self) -> bool {
+        self.turn_probability > 0.0 && self.turn_rng.gen::<f64>() < self.turn_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn workload(seed: u64) -> Workload {
+        Workload::new(&Scenario::paper_baseline().seed(seed))
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = workload(7);
+        let mut b = workload(7);
+        for cell in 0..10 {
+            assert_eq!(a.next_interarrival(cell), b.next_interarrival(cell));
+        }
+        for _ in 0..100 {
+            assert_eq!(a.sample_attrs(), b.sample_attrs());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = workload(1);
+        let mut b = workload(2);
+        let same = (0..32).filter(|_| a.sample_attrs() == b.sample_attrs()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exponential_mean_is_right() {
+        let mut w = workload(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| w.next_interarrival(0)).sum();
+        let mean = sum / n as f64;
+        // λ = 100 / 120 ≈ 0.8333 → mean gap 1.2 s.
+        assert!((mean - 1.2).abs() < 0.05, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn lifetime_mean_is_120() {
+        let mut w = workload(4);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| w.sample_attrs().lifetime_secs).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 120.0).abs() < 3.0, "mean lifetime {mean}");
+    }
+
+    #[test]
+    fn voice_ratio_respected() {
+        let mut w = Workload::new(&Scenario::paper_baseline().voice_ratio(0.8).seed(5));
+        let n = 20_000;
+        let voice = (0..n)
+            .filter(|_| w.sample_attrs().media == MediaClass::Voice)
+            .count();
+        let ratio = voice as f64 / n as f64;
+        assert!((ratio - 0.8).abs() < 0.01, "voice ratio {ratio}");
+    }
+
+    #[test]
+    fn speeds_within_range() {
+        let mut w = workload(6);
+        for _ in 0..1_000 {
+            let a = w.sample_attrs();
+            assert!((80.0..=120.0).contains(&a.speed_kmh));
+            assert!((0.0..1.0).contains(&a.position_frac));
+            assert!(a.lifetime_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn directions_balanced_when_random() {
+        let mut w = workload(8);
+        let n = 10_000;
+        let up = (0..n).filter(|_| w.sample_attrs().heading == 0).count();
+        let frac = up as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "up fraction {frac}");
+    }
+
+    #[test]
+    fn all_up_mode_is_unidirectional() {
+        let mut w = Workload::new(&Scenario::paper_baseline().one_directional().seed(9));
+        for _ in 0..100 {
+            assert_eq!(w.sample_attrs().heading, 0);
+        }
+    }
+
+    #[test]
+    fn hex_headings_cover_six_directions() {
+        let mut w = Workload::new(&Scenario::paper_baseline().hex(4, 5).seed(14));
+        let mut seen = [0u32; 6];
+        for _ in 0..6_000 {
+            let h = w.sample_attrs().heading;
+            assert!(h < 6);
+            seen[h as usize] += 1;
+        }
+        for (h, &count) in seen.iter().enumerate() {
+            assert!(count > 800, "heading {h} undersampled: {count}");
+        }
+    }
+
+    #[test]
+    fn turn_target_never_repeats_current() {
+        let mut road = workload(15);
+        for _ in 0..50 {
+            assert_eq!(road.turn_target(0), 1);
+            assert_eq!(road.turn_target(1), 0);
+        }
+        let mut hex = Workload::new(&Scenario::paper_baseline().hex(3, 3).seed(16));
+        for h in 0..6u8 {
+            for _ in 0..20 {
+                let t = hex.turn_target(h);
+                assert_ne!(t, h);
+                assert!(t < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_updates_change_gaps() {
+        let mut w = workload(10);
+        let n = 5_000;
+        let before: f64 = (0..n).map(|_| w.next_interarrival(0)).sum::<f64>() / n as f64;
+        w.set_arrival_rate(w.arrival_rate() * 4.0);
+        let after: f64 = (0..n).map(|_| w.next_interarrival(0)).sum::<f64>() / n as f64;
+        assert!(after < before / 2.0);
+    }
+
+    #[test]
+    fn retry_coin_extremes() {
+        let mut w = workload(11);
+        assert!(!w.retry_decision(0.0));
+        assert!(w.retry_decision(1.0));
+    }
+
+    #[test]
+    fn turn_decision_respects_probability() {
+        let mut w = workload(12);
+        // Paper default: never turn.
+        for _ in 0..100 {
+            assert!(!w.turn_decision());
+        }
+        let mut noisy = Workload::new(&{
+            let mut s = Scenario::paper_baseline().seed(13);
+            s.turn_probability = 0.5;
+            s
+        });
+        let n = 10_000;
+        let turns = (0..n).filter(|_| noisy.turn_decision()).count();
+        let frac = turns as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "turn fraction {frac}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Hourly bucketed ratio aggregation for the time-varying experiment.
+
+use qres_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::ratio::RatioCounter;
+
+/// Aggregates hit/trial events into fixed one-hour buckets over a run.
+///
+/// Fig. 14(b) reports "the average probability during the corresponding
+/// one-hour period, i.e. `P_CB` at `t = 8.5` represents the average over the
+/// interval `[8, 9]`" (hours of the simulated multi-day clock). This
+/// accumulator implements exactly that bucketing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HourlyBuckets {
+    name: String,
+    buckets: Vec<RatioCounter>,
+}
+
+impl HourlyBuckets {
+    /// Creates a bucketed accumulator covering `[0, total_hours)` hours of
+    /// simulation time.
+    pub fn new(name: impl Into<String>, total_hours: usize) -> Self {
+        HourlyBuckets {
+            name: name.into(),
+            buckets: vec![RatioCounter::new(); total_hours],
+        }
+    }
+
+    /// The accumulator label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of hour buckets.
+    pub fn hours(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Records one trial at simulation time `now`. Events beyond the covered
+    /// horizon are ignored (the run's tail).
+    pub fn record(&mut self, now: SimTime, hit: bool) {
+        let hour = now.as_hours();
+        if hour < 0.0 {
+            return;
+        }
+        let idx = hour.floor() as usize;
+        if let Some(bucket) = self.buckets.get_mut(idx) {
+            bucket.record(hit);
+        }
+    }
+
+    /// The per-bucket counter for hour index `idx`.
+    pub fn bucket(&self, idx: usize) -> &RatioCounter {
+        &self.buckets[idx]
+    }
+
+    /// Iterates `(bucket_midpoint_hours, ratio)` for buckets with data —
+    /// the exact series shape of Fig. 14(b).
+    pub fn midpoint_series(&self) -> Vec<(f64, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.ratio().map(|r| (i as f64 + 0.5, r)))
+            .collect()
+    }
+
+    /// Iterates `(bucket_midpoint_hours, ratio_or_zero)` for *all* buckets.
+    pub fn midpoint_series_zero_filled(&self) -> Vec<(f64, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as f64 + 0.5, b.ratio_or_zero()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_hours(h: f64) -> SimTime {
+        SimTime::from_hours(h)
+    }
+
+    #[test]
+    fn events_land_in_their_hour() {
+        let mut b = HourlyBuckets::new("p_cb", 48);
+        b.record(at_hours(8.1), true);
+        b.record(at_hours(8.9), false);
+        b.record(at_hours(9.0), true); // boundary: belongs to [9,10)
+        assert_eq!(b.bucket(8).trials(), 2);
+        assert_eq!(b.bucket(8).hits(), 1);
+        assert_eq!(b.bucket(9).trials(), 1);
+    }
+
+    #[test]
+    fn midpoints_match_paper_convention() {
+        let mut b = HourlyBuckets::new("p_cb", 24);
+        b.record(at_hours(8.5), true);
+        b.record(at_hours(8.6), true);
+        let series = b.midpoint_series();
+        assert_eq!(series, vec![(8.5, 1.0)]);
+    }
+
+    #[test]
+    fn zero_filled_covers_all_buckets() {
+        let b = HourlyBuckets::new("p_hd", 3);
+        let series = b.midpoint_series_zero_filled();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], (0.5, 0.0));
+    }
+
+    #[test]
+    fn out_of_range_ignored() {
+        let mut b = HourlyBuckets::new("p_cb", 2);
+        b.record(at_hours(5.0), true);
+        b.record(at_hours(-1.0), true);
+        assert_eq!(b.bucket(0).trials() + b.bucket(1).trials(), 0);
+    }
+
+    #[test]
+    fn metadata() {
+        let b = HourlyBuckets::new("p_cb", 48);
+        assert_eq!(b.name(), "p_cb");
+        assert_eq!(b.hours(), 48);
+    }
+}

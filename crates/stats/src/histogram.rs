@@ -1,0 +1,163 @@
+//! Fixed-width histograms for distribution inspection.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin-width histogram over `[lo, hi)` with under/overflow bins.
+///
+/// Used to inspect sojourn-time distributions (the marginal of the paper's
+/// Fig. 4 footprint) and hand-off inter-arrival patterns in tests and the
+/// `mobility_explorer` example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Guard against FP rounding right at the top edge.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total samples (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// In-range bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the top of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `(lo, hi)` bounds of bin `idx`.
+    pub fn bin_bounds(&self, idx: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (
+            self.lo + idx as f64 * width,
+            self.lo + (idx + 1) as f64 * width,
+        )
+    }
+
+    /// An ASCII bar rendering, one bin per line (for example/debug output).
+    pub fn render_ascii(&self, max_width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &n) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_bounds(i);
+            let bar = "#".repeat((n as usize * max_width).div_ceil(peak as usize).min(max_width));
+            out.push_str(&format!("[{lo:8.1},{hi:8.1}) {n:8} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(5.5);
+        h.add(9.99);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(-1.0);
+        h.add(10.0); // hi is exclusive
+        h.add(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn mean_includes_all_samples() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.add(2.0);
+        h.add(4.0);
+        h.add(30.0); // overflow still counts toward mean
+        assert_eq!(h.mean(), Some(12.0));
+        assert_eq!(Histogram::new(0.0, 1.0, 1).mean(), None);
+    }
+
+    #[test]
+    fn bin_bounds() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_bounds(0), (0.0, 25.0));
+        assert_eq!(h.bin_bounds(3), (75.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_rejected() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.add(0.5);
+        h.add(0.6);
+        h.add(2.5);
+        let s = h.render_ascii(10);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+    }
+}

@@ -1,0 +1,154 @@
+//! Event-ratio counters for `P_CB` and `P_HD`.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts trials and "hits" and reports their ratio.
+///
+/// The paper's headline metrics are both of this shape:
+/// * `P_CB` — connection-blocking probability: hits = blocked new-connection
+///   requests, trials = all new-connection requests;
+/// * `P_HD` — hand-off dropping probability: hits = dropped hand-offs,
+///   trials = attempted hand-offs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RatioCounter {
+    trials: u64,
+    hits: u64,
+}
+
+impl RatioCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial; `hit` marks it as a blocking/dropping event.
+    pub fn record(&mut self, hit: bool) {
+        self.trials += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Records a trial that was a hit.
+    pub fn record_hit(&mut self) {
+        self.record(true);
+    }
+
+    /// Records a trial that was not a hit.
+    pub fn record_miss(&mut self) {
+        self.record(false);
+    }
+
+    /// Total trials recorded.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Total hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// The hit ratio; `None` with zero trials (undefined, *not* zero —
+    /// a cell that saw no hand-offs has no measured `P_HD`).
+    pub fn ratio(&self) -> Option<f64> {
+        if self.trials == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / self.trials as f64)
+        }
+    }
+
+    /// The hit ratio, defaulting to `0.0` when no trials were seen.
+    /// Matches the paper's tables, which print `0.` for idle cells.
+    pub fn ratio_or_zero(&self) -> f64 {
+        self.ratio().unwrap_or(0.0)
+    }
+
+    /// Standard error of the ratio under a binomial model; `None` without
+    /// at least one trial.
+    pub fn std_error(&self) -> Option<f64> {
+        let p = self.ratio()?;
+        Some((p * (1.0 - p) / self.trials as f64).sqrt())
+    }
+
+    /// Merges another counter into this one (for aggregating per-cell
+    /// counters into a system-wide figure).
+    pub fn merge(&mut self, other: &RatioCounter) {
+        self.trials += other.trials;
+        self.hits += other.hits;
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ratio_is_none() {
+        let c = RatioCounter::new();
+        assert_eq!(c.ratio(), None);
+        assert_eq!(c.ratio_or_zero(), 0.0);
+        assert_eq!(c.std_error(), None);
+    }
+
+    #[test]
+    fn counts_and_ratio() {
+        let mut c = RatioCounter::new();
+        for i in 0..100 {
+            c.record(i % 4 == 0);
+        }
+        assert_eq!(c.trials(), 100);
+        assert_eq!(c.hits(), 25);
+        assert_eq!(c.ratio(), Some(0.25));
+    }
+
+    #[test]
+    fn hit_miss_shorthands() {
+        let mut c = RatioCounter::new();
+        c.record_hit();
+        c.record_miss();
+        c.record_miss();
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.trials(), 3);
+    }
+
+    #[test]
+    fn merge_aggregates() {
+        let mut a = RatioCounter::new();
+        let mut b = RatioCounter::new();
+        a.record_hit();
+        a.record_miss();
+        b.record_hit();
+        a.merge(&b);
+        assert_eq!(a.trials(), 3);
+        assert_eq!(a.hits(), 2);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_n() {
+        let mut small = RatioCounter::new();
+        let mut large = RatioCounter::new();
+        for i in 0..10 {
+            small.record(i % 2 == 0);
+        }
+        for i in 0..1000 {
+            large.record(i % 2 == 0);
+        }
+        assert!(large.std_error().unwrap() < small.std_error().unwrap());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = RatioCounter::new();
+        c.record_hit();
+        c.reset();
+        assert_eq!(c.trials(), 0);
+        assert_eq!(c.ratio(), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! Time-weighted averaging of piecewise-constant signals.
+
+use qres_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Integrates a piecewise-constant signal over simulation time and reports
+/// its time-weighted mean.
+///
+/// The paper's Fig. 9 plots the *average* target reservation bandwidth `B_r`
+/// and average bandwidth-in-use `B_u` per cell. Both signals change only at
+/// event instants (admissions, departures, hand-offs), so the correct
+/// average weights each value by how long it was held, not by how many times
+/// it was sampled.
+///
+/// Usage: call [`TimeWeighted::update`] with the *new* value each time the
+/// signal changes; the previous value is credited with the elapsed span.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_time: SimTime,
+    current: f64,
+    integral: f64,
+    min: f64,
+    max: f64,
+    updates: u64,
+}
+
+impl TimeWeighted {
+    /// Begins integration at `start` with initial signal value `initial`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_time: start,
+            current: initial,
+            integral: 0.0,
+            min: initial,
+            max: initial,
+            updates: 0,
+        }
+    }
+
+    /// Advances the signal to `value` at time `now`, crediting the previous
+    /// value with the span since the last change.
+    ///
+    /// Panics if `now` precedes the previous update (clock must be
+    /// monotonic).
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        assert!(
+            now >= self.last_time,
+            "TimeWeighted updates must be time-ordered"
+        );
+        self.integral += self.current * (now - self.last_time).as_secs();
+        self.last_time = now;
+        self.current = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.updates += 1;
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// The minimum value the signal has taken.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The maximum value the signal has taken.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of updates applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The time-weighted mean over `[start, now]`; `None` if no time has
+    /// elapsed.
+    pub fn mean(&self, now: SimTime) -> Option<f64> {
+        assert!(now >= self.last_time, "mean queried before last update");
+        let total = (now - self.start).as_secs();
+        if total <= 0.0 {
+            return None;
+        }
+        let integral = self.integral + self.current * (now - self.last_time).as_secs();
+        Some(integral / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qres_des::Duration;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant_signal_mean_is_value() {
+        let tw = TimeWeighted::new(t(0.0), 5.0);
+        assert_eq!(tw.mean(t(10.0)), Some(5.0));
+    }
+
+    #[test]
+    fn no_elapsed_time_is_none() {
+        let tw = TimeWeighted::new(t(3.0), 5.0);
+        assert_eq!(tw.mean(t(3.0)), None);
+    }
+
+    #[test]
+    fn step_signal_weighted_correctly() {
+        // 0 for 10s, then 10 for 10s -> mean 5.
+        let mut tw = TimeWeighted::new(t(0.0), 0.0);
+        tw.update(t(10.0), 10.0);
+        assert_eq!(tw.mean(t(20.0)), Some(5.0));
+        // Unequal spans: 0 for 10s, 10 for 30s -> mean 7.5.
+        assert_eq!(tw.mean(t(40.0)), Some(7.5));
+    }
+
+    #[test]
+    fn multiple_steps() {
+        let mut tw = TimeWeighted::new(t(0.0), 1.0);
+        tw.update(t(1.0), 2.0);
+        tw.update(t(2.0), 3.0);
+        tw.update(t(3.0), 0.0);
+        // 1*1 + 2*1 + 3*1 + 0*1 over 4s = 1.5
+        assert_eq!(tw.mean(t(4.0)), Some(1.5));
+    }
+
+    #[test]
+    fn zero_length_updates_are_fine() {
+        let mut tw = TimeWeighted::new(t(0.0), 1.0);
+        tw.update(t(5.0), 2.0);
+        tw.update(t(5.0), 3.0); // same instant: previous value gets 0 weight
+        assert_eq!(tw.mean(t(10.0)), Some((1.0 * 5.0 + 3.0 * 5.0) / 10.0));
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut tw = TimeWeighted::new(t(0.0), 5.0);
+        tw.update(t(1.0), -2.0);
+        tw.update(t(2.0), 9.0);
+        assert_eq!(tw.min(), -2.0);
+        assert_eq!(tw.max(), 9.0);
+        assert_eq!(tw.current(), 9.0);
+        assert_eq!(tw.updates(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn non_monotonic_update_panics() {
+        let mut tw = TimeWeighted::new(t(10.0), 0.0);
+        tw.update(t(5.0), 1.0);
+    }
+
+    #[test]
+    fn nonzero_start_offset() {
+        let mut tw = TimeWeighted::new(t(100.0), 4.0);
+        tw.update(t(100.0) + Duration::from_secs(10.0), 8.0);
+        assert_eq!(tw.mean(t(120.0)), Some(6.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests pitting the online estimators against naive
+//! reference implementations.
+
+use proptest::prelude::*;
+use qres_des::SimTime;
+use qres_stats::{Histogram, RatioCounter, TimeWeighted, Welford};
+
+proptest! {
+    /// Welford matches the two-pass mean/variance to floating tolerance.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((w.mean().unwrap() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance().unwrap() - var).abs() < 1e-5 * (1.0 + var.abs()));
+        prop_assert_eq!(w.min().unwrap(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(w.max().unwrap(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging any split of the samples equals processing them whole.
+    #[test]
+    fn welford_merge_associative(
+        xs in prop::collection::vec(-100f64..100.0, 2..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] {
+            a.add(x);
+        }
+        for &x in &xs[split..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+    }
+
+    /// TimeWeighted equals the piecewise integral computed directly.
+    #[test]
+    fn time_weighted_matches_integral(
+        steps in prop::collection::vec((0.01f64..10.0, -50f64..50.0), 1..50),
+        initial in -50f64..50.0,
+        tail in 0.01f64..10.0,
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, initial);
+        let mut t = 0.0;
+        let mut integral = 0.0;
+        let mut current = initial;
+        for &(dt, v) in &steps {
+            integral += current * dt;
+            t += dt;
+            tw.update(SimTime::from_secs(t), v);
+            current = v;
+        }
+        integral += current * tail;
+        t += tail;
+        let expected = integral / t;
+        let got = tw.mean(SimTime::from_secs(t)).unwrap();
+        prop_assert!((got - expected).abs() < 1e-9 * (1.0 + expected.abs()),
+            "got {got}, expected {expected}");
+    }
+
+    /// A ratio counter's ratio is always hits/trials and merging adds.
+    #[test]
+    fn ratio_counter_consistency(hits in prop::collection::vec(any::<bool>(), 1..300)) {
+        let mut c = RatioCounter::new();
+        for &h in &hits {
+            c.record(h);
+        }
+        let expected = hits.iter().filter(|&&h| h).count() as f64 / hits.len() as f64;
+        prop_assert_eq!(c.ratio().unwrap(), expected);
+        let mut doubled = c;
+        doubled.merge(&c);
+        prop_assert_eq!(doubled.ratio().unwrap(), expected);
+        prop_assert_eq!(doubled.trials(), 2 * c.trials());
+    }
+
+    /// Every histogram sample lands somewhere: bins + underflow + overflow
+    /// always equals the count.
+    #[test]
+    fn histogram_conserves_samples(
+        xs in prop::collection::vec(-100f64..200.0, 0..300),
+        bins in 1usize..40,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins);
+        for &x in &xs {
+            h.add(x);
+        }
+        let total: u64 = h.bins().iter().sum::<u64>() + h.underflow() + h.overflow();
+        prop_assert_eq!(total, xs.len() as u64);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+    }
+}

@@ -1,0 +1,56 @@
+//! Highway scenario: mixed voice/video traffic on a fast road, comparing
+//! the static guard-channel baseline against the paper's predictive
+//! schemes.
+//!
+//! ```sh
+//! cargo run --release --example highway
+//! ```
+//!
+//! This is the motivating workload of the paper's introduction: broadband
+//! multimedia (here 50% video at 4 BU) carried by vehicles at highway
+//! speed, where hand-offs are frequent and a dropped hand-off kills an
+//! on-going session. A fixed guard band tuned for voice (G = 10) cannot
+//! keep `P_HD` under the target once video enters the mix — the adaptive
+//! schemes can, at comparable blocking.
+
+use qres::sim::{run_scenario, Scenario, SchemeKind};
+
+fn main() {
+    let schemes = [
+        SchemeKind::Static { guard_bus: 10 },
+        SchemeKind::Static { guard_bus: 30 },
+        SchemeKind::Ac1,
+        SchemeKind::Ac3,
+    ];
+    println!("highway: L = 200, 50% video, 80-120 km/h, 8000 s, seed 7\n");
+    println!(
+        "{:<16} {:>8} {:>8} {:>9} {:>9} {:>8}",
+        "scheme", "P_CB", "P_HD", "avg B_r", "avg B_u", "target?"
+    );
+    println!("{}", "-".repeat(64));
+    for scheme in schemes {
+        let scenario = Scenario::paper_baseline()
+            .scheme(scheme)
+            .offered_load(200.0)
+            .voice_ratio(0.5)
+            .high_mobility()
+            .duration_secs(8_000.0)
+            .seed(7);
+        let r = run_scenario(&scenario);
+        println!(
+            "{:<16} {:>8.4} {:>8.4} {:>9.2} {:>9.2} {:>8}",
+            scheme.label(),
+            r.p_cb(),
+            r.p_hd(),
+            r.avg_br(),
+            r.avg_bu(),
+            if r.p_hd() <= 0.011 { "met" } else { "MISSED" }
+        );
+    }
+    println!(
+        "\nNote how static(G=10) misses the 0.01 hand-off-drop target with video in\n\
+         the mix, while over-provisioning (G=30) meets it only by blocking far more\n\
+         new connections. The adaptive schemes meet the target while reserving only\n\
+         what the predicted hand-offs need."
+    );
+}

@@ -1,0 +1,75 @@
+//! Mobility explorer: train the hand-off estimation function on simulated
+//! traffic, then inspect it the way the paper's Figs. 4–5 do.
+//!
+//! ```sh
+//! cargo run --release --example mobility_explorer
+//! ```
+//!
+//! Runs a short simulation to populate a mid-ring cell's quadruplet cache, prints
+//! the Fig.-4-style footprint (next cell × sojourn time, conditioned on
+//! the previous cell), and then walks through an Eq.-4 calculation: how
+//! the hand-off probability of a tagged mobile changes with its extant
+//! sojourn time and the estimation window `T_est`.
+
+use qres::cellnet::CellId;
+use qres::des::{Duration, SimTime};
+use qres::mobility::{handoff_probability, Footprint, HandoffQuery};
+use qres::sim::{Engine, Scenario, SchemeKind};
+
+fn main() {
+    // Phase 1: train on the paper baseline (this consumes the engine, so
+    // we rebuild the trained caches through a fresh run's system access).
+    let scenario = Scenario::paper_baseline()
+        .scheme(SchemeKind::Ac3)
+        .offered_load(150.0)
+        .high_mobility()
+        .duration_secs(3_000.0)
+        .seed(3);
+    println!("training the estimator on 3000 s of ring traffic ...\n");
+    let mut engine = Engine::new(scenario);
+    let result = engine.run_keeping_state();
+    let now = SimTime::from_secs(3_000.0);
+
+    // Phase 2: inspect the cache of cell index 4 (the paper's cell <5>),
+    // conditioned on mobiles that arrived from cell index 3. All cell ids
+    // below are 0-based, matching the API's `cell<i>` display.
+    let cache = engine.system_mut().hoe_cache_mut(CellId(4));
+    println!("stored quadruplets in cell<4>: {}", cache.stored_events());
+    let fp = Footprint::extract(cache, now, Some(CellId(3)));
+    println!("{}", fp.render_ascii(60));
+
+    // Phase 3: an Eq. 4 walk-through for a mobile that entered from cell<3>.
+    println!("p_h(mobile from cell<3> residing in cell<4> -> cell<5>) by Eq. 4:");
+    println!("{:>12} {:>10} {:>10} {:>10}", "extant soj", "T_est=10s", "T_est=30s", "T_est=60s");
+    for ext in [0.0, 10.0, 20.0, 30.0, 45.0] {
+        let mut p = |t_est: f64| {
+            handoff_probability(
+                engine.system_mut().hoe_cache_mut(CellId(4)),
+                HandoffQuery {
+                    now,
+                    prev: Some(CellId(3)),
+                    extant_sojourn: Duration::from_secs(ext),
+                    next: CellId(5),
+                    t_est: Duration::from_secs(t_est),
+                },
+            )
+        };
+        println!(
+            "{:>11}s {:>10.3} {:>10.3} {:>10.3}",
+            ext,
+            p(10.0),
+            p(30.0),
+            p(60.0)
+        );
+    }
+    println!(
+        "\n(cell crossings at 80-120 km/h take 30-45 s, so the probability mass\n\
+         concentrates there; a mobile that has already stayed longer than every\n\
+         cached sojourn is classified stationary and p_h drops to 0)"
+    );
+    println!(
+        "\nrun summary: P_CB = {:.4}, P_HD = {:.4}",
+        result.p_cb(),
+        result.p_hd()
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: simulate the paper's baseline cellular system and print the
+//! headline QoS metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the Section 5.1 environment — a 10-cell, 1-km ring with 100 BU
+//! cells, Poisson voice arrivals, 80–120 km/h mobiles — runs the AC3
+//! predictive/adaptive scheme at offered load 150, and reports the
+//! connection-blocking and hand-off-dropping probabilities against the
+//! `P_HD ≤ 0.01` design goal.
+
+use qres::sim::{run_scenario, Scenario, SchemeKind};
+
+fn main() {
+    let scenario = Scenario::paper_baseline()
+        .scheme(SchemeKind::Ac3)
+        .offered_load(150.0)
+        .voice_ratio(1.0)
+        .high_mobility()
+        .duration_secs(5_000.0)
+        .seed(42);
+
+    println!("running: {} s of the paper-baseline ring at L = {} ...",
+        scenario.duration_secs, scenario.offered_load);
+    let result = run_scenario(&scenario);
+
+    println!("\nscheme            : {}", result.label);
+    println!("events dispatched : {}", result.events_dispatched);
+    println!(
+        "connections       : {} requested, {} blocked",
+        result.system_cb.trials(),
+        result.system_cb.hits()
+    );
+    println!(
+        "hand-offs         : {} attempted, {} dropped",
+        result.system_hd.trials(),
+        result.system_hd.hits()
+    );
+    println!("P_CB              : {:.4}", result.p_cb());
+    println!(
+        "P_HD              : {:.4}  (target 0.01 -> {})",
+        result.p_hd(),
+        if result.p_hd() <= 0.011 { "MET" } else { "MISSED" }
+    );
+    println!(
+        "avg reservation   : {:.2} BU targeted, {:.2} BU in use (C = 100)",
+        result.avg_br(),
+        result.avg_bu()
+    );
+    println!("N_calc            : {:.3} B_r calculations per admission test", result.n_calc_mean);
+    println!(
+        "backbone          : {} messages / {} hops for the B_r protocol",
+        result.signaling.messages, result.signaling.hops
+    );
+}

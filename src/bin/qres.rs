@@ -1,0 +1,153 @@
+//! `qres` — run hand-off reservation simulations from JSON scenario files.
+//!
+//! ```text
+//! qres template [stationary|time-varying|wired]   print a scenario template
+//! qres run <scenario.json> [--json]               run one scenario
+//! qres sweep <scenario.json> --loads 60,120,300   offered-load sweep
+//! ```
+//!
+//! A scenario file is the JSON form of [`qres::sim::Scenario`]; start from
+//! `qres template`, edit, run. `--json` emits the full
+//! [`qres::sim::RunResult`] (per-cell summaries, traces, hourly series)
+//! for downstream tooling.
+
+use std::process::ExitCode;
+
+use qres::sim::report::{cell_status_table, SeriesTable};
+use qres::sim::scenario::WiredConfig;
+use qres::sim::{run_scenario, Scenario, SchemeKind, TimeVaryingConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("template") => template(args.get(1).map(String::as_str)),
+        Some("run") => run(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  qres template [stationary|time-varying|wired]\n  \
+                 qres run <scenario.json> [--json]\n  \
+                 qres sweep <scenario.json> --loads 60,120,300"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn template(kind: Option<&str>) -> ExitCode {
+    let scenario = match kind.unwrap_or("stationary") {
+        "stationary" => Scenario::paper_baseline(),
+        "time-varying" => Scenario::paper_baseline()
+            .scheme(SchemeKind::Ac1)
+            .time_varying(TimeVaryingConfig::paper_like()),
+        "wired" => Scenario::paper_baseline().wired(WiredConfig::Star {
+            access_bus: 100,
+            trunk_bus: 600,
+        }),
+        other => {
+            eprintln!("unknown template `{other}` (stationary|time-varying|wired)");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&scenario).expect("scenario serializes")
+    );
+    ExitCode::SUCCESS
+}
+
+fn load_scenario(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let scenario: Scenario =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    scenario.validate();
+    Ok(scenario)
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("qres run <scenario.json> [--json]");
+        return ExitCode::from(2);
+    };
+    let as_json = args.iter().any(|a| a == "--json");
+    let scenario = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run_scenario(&scenario);
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("result serializes")
+        );
+    } else {
+        print!("{}", cell_status_table(&result));
+        println!(
+            "events: {}   measured span: {} s",
+            result.events_dispatched, result.duration_secs
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("qres sweep <scenario.json> --loads 60,120,300");
+        return ExitCode::from(2);
+    };
+    let loads: Vec<f64> = match args.iter().position(|a| a == "--loads") {
+        Some(i) => match args.get(i + 1) {
+            Some(list) => {
+                let parsed: Result<Vec<f64>, _> =
+                    list.split(',').map(str::trim).map(str::parse).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() => v,
+                    _ => {
+                        eprintln!("--loads expects a comma-separated list of numbers");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            None => {
+                eprintln!("--loads requires a value");
+                return ExitCode::from(2);
+            }
+        },
+        None => qres::sim::runner::paper_load_grid(),
+    };
+    let base = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut table = SeriesTable::new(
+        "load",
+        vec![
+            "P_CB".into(),
+            "P_HD".into(),
+            "avg_B_r".into(),
+            "avg_B_u".into(),
+            "N_calc".into(),
+        ],
+    );
+    for point in qres::sim::sweep_offered_load(&base, &loads) {
+        let r = &point.result;
+        table.push_row(
+            point.offered_load,
+            vec![
+                Some(r.p_cb()),
+                Some(r.p_hd()),
+                Some(r.avg_br()),
+                Some(r.avg_bu()),
+                Some(r.n_calc_mean),
+            ],
+        );
+    }
+    print!("{}", table.render());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,80 @@
+//! JSON round-trip guarantees for the CLI's interchange formats.
+
+use qres::sim::{run_scenario, Scenario, SchemeKind, TimeVaryingConfig, WiredConfig};
+
+#[test]
+fn scenario_json_roundtrip() {
+    let original = Scenario::paper_baseline()
+        .scheme(SchemeKind::Static { guard_bus: 10 })
+        .offered_load(180.0)
+        .voice_ratio(0.8)
+        .low_mobility()
+        .trace_cells(&[4, 5])
+        .seed(33);
+    let json = serde_json::to_string_pretty(&original).unwrap();
+    let parsed: Scenario = serde_json::from_str(&json).unwrap();
+    parsed.validate();
+    assert_eq!(parsed.offered_load, original.offered_load);
+    assert_eq!(parsed.scheme, original.scheme);
+    assert_eq!(parsed.trace_cells, original.trace_cells);
+    assert_eq!(parsed.speed_range_kmh, original.speed_range_kmh);
+}
+
+#[test]
+fn scenario_roundtrip_preserves_simulation_results() {
+    let original = Scenario::paper_baseline()
+        .offered_load(150.0)
+        .duration_secs(200.0)
+        .seed(5);
+    let parsed: Scenario =
+        serde_json::from_str(&serde_json::to_string(&original).unwrap()).unwrap();
+    let a = run_scenario(&original);
+    let b = run_scenario(&parsed);
+    assert_eq!(a.system_cb, b.system_cb);
+    assert_eq!(a.system_hd, b.system_hd);
+    assert_eq!(a.events_dispatched, b.events_dispatched);
+}
+
+#[test]
+fn complex_scenarios_roundtrip() {
+    for scenario in [
+        Scenario::paper_baseline().time_varying(TimeVaryingConfig::paper_like()),
+        Scenario::paper_baseline().wired(WiredConfig::Tree {
+            branching: 3,
+            access_bus: 100,
+            trunk_bus: 500,
+        }),
+        Scenario::paper_baseline().hex(4, 5).route_aware(),
+        Scenario::paper_baseline().scheme(SchemeKind::Ns {
+            window_secs: 30.0,
+            mean_sojourn_secs: 36.0,
+        }),
+    ] {
+        let json = serde_json::to_string(&scenario).unwrap();
+        let parsed: Scenario = serde_json::from_str(&json).unwrap();
+        parsed.validate();
+        assert_eq!(
+            serde_json::to_string(&parsed).unwrap(),
+            json,
+            "round-trip must be lossless"
+        );
+    }
+}
+
+#[test]
+fn run_result_serializes_with_traces() {
+    let r = run_scenario(
+        &Scenario::paper_baseline()
+            .offered_load(200.0)
+            .duration_secs(150.0)
+            .trace_cells(&[4])
+            .seed(9),
+    );
+    let json = serde_json::to_string(&r).unwrap();
+    assert!(json.contains("\"system_cb\""));
+    assert!(json.contains("t_est_cell4"));
+    // And parses back.
+    let parsed: qres::sim::RunResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed.p_cb(), r.p_cb());
+    assert_eq!(parsed.traces.len(), 1);
+}
