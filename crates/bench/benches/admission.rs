@@ -2,10 +2,10 @@
 //! operational cost behind the paper's `N_calc` complexity argument
 //! (Fig. 13): AC2 should cost ≈3× AC1, AC3 between the two.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qres_cellnet::{Bandwidth, BsNetworkKind, CellId, ConnectionId, Topology};
 use qres_core::{AcKind, NewConnectionRequest, QresConfig, ReservationSystem, SchemeConfig};
 use qres_des::SimTime;
+use qres_microbench::{black_box, criterion_group, criterion_main, Criterion};
 
 /// Builds a loaded 10-cell ring: ~40 voice connections per cell, marched
 /// around the ring once so the estimation caches hold real hand-off

@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the discrete-event queue — the substrate every
 //! simulated second rides on.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qres_des::{EventQueue, SimTime};
+use qres_microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn schedule_pop(c: &mut Criterion) {
     let mut group = c.benchmark_group("des_queue");

@@ -2,8 +2,11 @@
 //! second for representative scenarios — the number that determines how
 //! long the 20 000 s experiment sweeps take.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use qres_sim::{run_scenario, Scenario, SchemeKind};
+use qres_microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qres_sim::runner::paper_load_grid;
+use qres_sim::{
+    run_scenario, sweep_offered_load, sweep_offered_load_sequential, Scenario, SchemeKind,
+};
 
 fn bench_scenarios(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_100s");
@@ -34,5 +37,26 @@ fn bench_scenarios(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scenarios);
+/// Wall-clock of the full 10-point paper load grid, parallel runner vs.
+/// the sequential reference (short runs — the ratio, not the absolute
+/// time, is the interesting number; it approaches the core count on
+/// multi-core hosts and 1.0× on a single core).
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_10pt_grid");
+    group.sample_size(10);
+    let loads = paper_load_grid();
+    let base = Scenario::paper_baseline()
+        .scheme(SchemeKind::Ac3)
+        .duration_secs(50.0)
+        .seed(7);
+    group.bench_with_input(BenchmarkId::from_parameter("parallel"), &(), |b, _| {
+        b.iter(|| black_box(sweep_offered_load(&base, &loads).len()))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &(), |b, _| {
+        b.iter(|| black_box(sweep_offered_load_sequential(&base, &loads).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios, bench_sweep);
 criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! recording, Eq. 4 probability queries, and snapshot rebuilds — the inner
 //! loop of every `B_r` computation.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qres_cellnet::CellId;
 use qres_des::{Duration, SimTime};
+use qres_microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qres_mobility::{handoff_probability, HandoffEvent, HandoffQuery, HoeCache, HoeConfig};
 
 fn trained_cache(events: usize, stationary: bool) -> (HoeCache, SimTime) {
@@ -84,7 +84,7 @@ fn bench_rebuild(c: &mut Criterion) {
                     // A fresh clone has no snapshot: the first query builds.
                     black_box(cache.max_sojourn(now))
                 },
-                criterion::BatchSize::SmallInput,
+                qres_microbench::BatchSize::SmallInput,
             )
         });
     }

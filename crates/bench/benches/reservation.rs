@@ -1,10 +1,15 @@
 //! Micro-benchmark of the `B_i,0` contribution computation (Eq. 5) as the
 //! neighbor-cell population grows — the dominant cost of an admission test.
+//!
+//! Runs the batched estimator (`neighbor_contribution`) side by side with
+//! the per-connection reference (`neighbor_contribution_naive`) on the same
+//! population, so the speedup of the merged-sweep evaluation is read
+//! directly off the `batched/N` vs `naive/N` pairs.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qres_cellnet::{Bandwidth, Cell, CellId, ConnInfo, ConnectionId};
-use qres_core::neighbor_contribution;
+use qres_core::{neighbor_contribution, neighbor_contribution_naive};
 use qres_des::{Duration, SimTime};
+use qres_microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qres_mobility::{HandoffEvent, HoeCache, HoeConfig};
 
 fn setup(population: usize) -> (Cell, HoeCache, SimTime) {
@@ -42,11 +47,26 @@ fn bench_contribution(c: &mut Criterion) {
         // Warm the snapshot.
         let _ = neighbor_contribution(&cell, &mut cache, now, CellId(0), Duration::from_secs(5.0));
         group.bench_with_input(
-            BenchmarkId::new("population", population),
+            BenchmarkId::new("batched", population),
             &population,
             |b, _| {
                 b.iter(|| {
                     black_box(neighbor_contribution(
+                        &cell,
+                        &mut cache,
+                        now,
+                        CellId(0),
+                        Duration::from_secs(10.0),
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", population),
+            &population,
+            |b, _| {
+                b.iter(|| {
+                    black_box(neighbor_contribution_naive(
                         &cell,
                         &mut cache,
                         now,

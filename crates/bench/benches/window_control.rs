@@ -4,9 +4,9 @@
 //! experiment the paper reports in prose ("these choices are found to
 //! cause over-reactions").
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qres_core::{StepPolicy, WindowController};
 use qres_des::Duration;
+use qres_microbench::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_observe(c: &mut Criterion) {
     let mut group = c.benchmark_group("window_control");

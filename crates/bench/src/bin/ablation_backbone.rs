@@ -20,7 +20,10 @@ fn main() {
     let schemes = [SchemeKind::Ac1, SchemeKind::Ac2, SchemeKind::Ac3];
 
     for (title, backbone) in [
-        ("fully-connected BSs (1 hop/msg)", BsNetworkKind::FullyConnected),
+        (
+            "fully-connected BSs (1 hop/msg)",
+            BsNetworkKind::FullyConnected,
+        ),
         ("star via MSC (2 hops/msg)", BsNetworkKind::StarViaMsc),
     ] {
         header(&opts, &format!("Backbone ablation — {title}"));

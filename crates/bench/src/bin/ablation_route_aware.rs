@@ -23,7 +23,10 @@ fn main() {
         ("exact route declarations", 0.0),
         ("stale declarations (20% turns)", 0.2),
     ] {
-        header(&opts, &format!("Route-aware ablation — {title}, AC3, R_vo = 0.8"));
+        header(
+            &opts,
+            &format!("Route-aware ablation — {title}, AC3, R_vo = 0.8"),
+        );
         let mut table = SeriesTable::new(
             "load",
             vec![

@@ -27,7 +27,10 @@ fn main() {
         .duration_secs(duration)
         .seed(opts.seed);
 
-    header(&opts, "Wired ablation — star backbone, trunk capacity sweep (L = 150)");
+    header(
+        &opts,
+        "Wired ablation — star backbone, trunk capacity sweep (L = 150)",
+    );
     let radio_only = run_scenario(&base);
     let mut table = SeriesTable::new(
         "trunk_bus",
@@ -58,7 +61,10 @@ fn main() {
         );
     }
 
-    header(&opts, "Wired ablation — crossover re-routing on a tree backbone");
+    header(
+        &opts,
+        "Wired ablation — crossover re-routing on a tree backbone",
+    );
     for branching in [2usize, 5] {
         let mut engine = Engine::new(base.clone().wired(WiredConfig::Tree {
             branching,
@@ -73,7 +79,11 @@ fn main() {
                 "branching {branching}: {} hand-offs re-routed; {:.1}% of path links kept by \
                  crossover (changed {changed}, kept {kept}); P_HD = {:.4}",
                 r.system_hd.trials(),
-                if total > 0 { 100.0 * kept as f64 / total as f64 } else { 0.0 },
+                if total > 0 {
+                    100.0 * kept as f64 / total as f64
+                } else {
+                    0.0
+                },
                 r.p_hd()
             );
         }

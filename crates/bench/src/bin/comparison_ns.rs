@@ -51,7 +51,10 @@ fn main() {
         ("random directions (ring)", false),
         ("one-directional road (Table 3 setting)", true),
     ] {
-        header(&opts, &format!("NS comparison — {title}, R_vo = 1.0, high mobility"));
+        header(
+            &opts,
+            &format!("NS comparison — {title}, R_vo = 1.0, high mobility"),
+        );
         let mut columns = Vec::new();
         for (name, _) in &schemes {
             columns.push(format!("P_CB:{name}"));

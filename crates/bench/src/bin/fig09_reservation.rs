@@ -17,7 +17,10 @@ fn main() {
     let loads = opts.load_grid();
     let voice_ratios = [1.0, 0.8, 0.5];
 
-    for (name, mobility) in [("(a) high user mobility", true), ("(b) low user mobility", false)] {
+    for (name, mobility) in [
+        ("(a) high user mobility", true),
+        ("(b) low user mobility", false),
+    ] {
         header(&opts, &format!("Fig. 9 {name}: average B_r and B_u, AC3"));
         let mut columns = Vec::new();
         for r in voice_ratios {
@@ -32,7 +35,11 @@ fn main() {
                 .voice_ratio(r_vo)
                 .duration_secs(duration)
                 .seed(opts.seed);
-            let base = if mobility { base.high_mobility() } else { base.low_mobility() };
+            let base = if mobility {
+                base.high_mobility()
+            } else {
+                base.low_mobility()
+            };
             sweeps.push(sweep_offered_load(&base, &loads));
         }
         for (i, &load) in loads.iter().enumerate() {

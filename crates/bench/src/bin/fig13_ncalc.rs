@@ -17,7 +17,10 @@ fn main() {
     let loads = opts.load_grid();
     let schemes = [SchemeKind::Ac1, SchemeKind::Ac2, SchemeKind::Ac3];
 
-    for (name, mobility) in [("(a) high user mobility", true), ("(b) low user mobility", false)] {
+    for (name, mobility) in [
+        ("(a) high user mobility", true),
+        ("(b) low user mobility", false),
+    ] {
         header(&opts, &format!("Fig. 13 {name}: N_calc per admission test"));
         let columns = schemes
             .iter()
@@ -31,7 +34,11 @@ fn main() {
                 .voice_ratio(1.0)
                 .duration_secs(duration)
                 .seed(opts.seed);
-            let base = if mobility { base.high_mobility() } else { base.low_mobility() };
+            let base = if mobility {
+                base.high_mobility()
+            } else {
+                base.low_mobility()
+            };
             sweeps.push(sweep_offered_load(&base, &loads));
         }
         for (i, &load) in loads.iter().enumerate() {

@@ -35,7 +35,10 @@ fn main() {
     }
 
     // (a) schedule and measured actual load.
-    header(&opts, "Fig. 14 (a): schedule (L_o, speed) and measured L_a per scheme");
+    header(
+        &opts,
+        "Fig. 14 (a): schedule (L_o, speed) and measured L_a per scheme",
+    );
     let mut columns = vec!["L_o".to_string(), "speed".to_string()];
     for s in schemes {
         columns.push(format!("L_a:{}", s.label()));

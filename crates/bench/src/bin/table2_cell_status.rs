@@ -23,7 +23,10 @@ fn main() {
             .duration_secs(duration)
             .seed(opts.seed);
         let result = run_scenario(&scenario);
-        header(&opts, &format!("Table 2 {label}: L = 300, R_vo = 1.0, high mobility, ring"));
+        header(
+            &opts,
+            &format!("Table 2 {label}: L = 300, R_vo = 1.0, high mobility, ring"),
+        );
         print!("{}", cell_status_table(&result));
         // Spread indicator: the paper's point is AC1's per-cell imbalance.
         let max_pcb = result.cells.iter().map(|c| c.p_cb).fold(0.0, f64::max);

@@ -46,7 +46,9 @@ impl ExpOptions {
                     let v = args
                         .next()
                         .unwrap_or_else(|| die("--seed requires a value"));
-                    opts.seed = v.parse().unwrap_or_else(|_| die("--seed must be an integer"));
+                    opts.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| die("--seed must be an integer"));
                 }
                 "--help" | "-h" => die("options: [--quick] [--seed <n>] [--csv]"),
                 other => die(&format!(

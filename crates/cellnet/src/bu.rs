@@ -8,18 +8,13 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A non-negative amount of wireless link bandwidth, in BUs.
 ///
 /// Subtraction saturates at zero is *not* provided: under-flowing a
 /// bandwidth budget is always an accounting bug, so `Sub` panics in debug
 /// builds like integer underflow does; use [`Bandwidth::checked_sub`] where
 /// failure is expected.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bandwidth(u32);
 
 impl Bandwidth {
@@ -106,7 +101,7 @@ impl fmt::Display for Bandwidth {
 }
 
 /// The media class of a connection (simulation assumption A3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MediaClass {
     /// A voice connection: 1 BU.
     Voice,

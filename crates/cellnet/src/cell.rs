@@ -11,13 +11,12 @@
 use std::collections::BTreeMap;
 
 use qres_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::bu::Bandwidth;
 use crate::ids::{CellId, ConnectionId};
 
 /// What a base station knows about one connection residing in its cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConnInfo {
     /// The connection's identifier.
     pub id: ConnectionId,
@@ -72,12 +71,13 @@ impl std::error::Error for CellError {}
 /// The registry is a `BTreeMap` so iteration order is deterministic — the
 /// reservation computation iterates neighbor cells' connections, and run
 /// reproducibility requires a stable order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cell {
     id: CellId,
     capacity: Bandwidth,
     used: Bandwidth,
     conns: BTreeMap<ConnectionId, ConnInfo>,
+    version: u64,
 }
 
 impl Cell {
@@ -88,12 +88,21 @@ impl Cell {
             capacity,
             used: Bandwidth::ZERO,
             conns: BTreeMap::new(),
+            version: 0,
         }
     }
 
     /// This cell's id.
     pub fn id(&self) -> CellId {
         self.id
+    }
+
+    /// A counter bumped by every successful membership mutation
+    /// ([`Self::insert`] / [`Self::remove`]). Any computation derived from
+    /// the connection registry — notably a neighbor's `B_i,0` contribution —
+    /// stays valid exactly while this value is unchanged.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The fixed link capacity `C(i)`.
@@ -146,6 +155,7 @@ impl Cell {
         }
         self.used += info.bandwidth;
         self.conns.insert(info.id, info);
+        self.version += 1;
         Ok(())
     }
 
@@ -153,6 +163,7 @@ impl Cell {
     pub fn remove(&mut self, id: ConnectionId) -> Result<ConnInfo, CellError> {
         let info = self.conns.remove(&id).ok_or(CellError::UnknownConnection)?;
         self.used -= info.bandwidth;
+        self.version += 1;
         Ok(info)
     }
 
@@ -253,10 +264,7 @@ mod tests {
     #[test]
     fn extant_sojourn() {
         let c = info(1, 1, 100.0);
-        assert_eq!(
-            c.extant_sojourn(SimTime::from_secs(130.0)).as_secs(),
-            30.0
-        );
+        assert_eq!(c.extant_sojourn(SimTime::from_secs(130.0)).as_secs(), 30.0);
     }
 
     #[test]
@@ -270,8 +278,26 @@ mod tests {
     }
 
     #[test]
+    fn version_tracks_successful_mutations_only() {
+        let mut cell = Cell::new(CellId(0), Bandwidth::from_bus(5));
+        assert_eq!(cell.version(), 0);
+        cell.insert(info(1, 4, 0.0)).unwrap();
+        assert_eq!(cell.version(), 1);
+        // Failed insert (capacity) and failed remove leave it unchanged.
+        assert!(cell.insert(info(2, 4, 0.0)).is_err());
+        assert!(cell.remove(ConnectionId(9)).is_err());
+        assert_eq!(cell.version(), 1);
+        cell.remove(ConnectionId(1)).unwrap();
+        assert_eq!(cell.version(), 2);
+    }
+
+    #[test]
     fn error_display() {
-        assert!(CellError::InsufficientCapacity.to_string().contains("capacity"));
-        assert!(CellError::UnknownConnection.to_string().contains("not present"));
+        assert!(CellError::InsufficientCapacity
+            .to_string()
+            .contains("capacity"));
+        assert!(CellError::UnknownConnection
+            .to_string()
+            .contains("not present"));
     }
 }

@@ -12,12 +12,11 @@
 //! mobile exits a non-ring border — Table 3's disconnected configuration).
 
 use qres_des::Duration;
-use serde::{Deserialize, Serialize};
 
 use crate::ids::CellId;
 
 /// Travel direction along the road.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Toward increasing cell indices (cell 1 → cell 10 in the paper).
     Up,
@@ -45,7 +44,7 @@ impl Direction {
 
 /// Geometry of a straight road segmented into equal-diameter cells,
 /// optionally closed into a ring.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoadGeometry {
     num_cells: usize,
     diameter_km: f64,

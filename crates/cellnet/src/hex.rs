@@ -8,13 +8,11 @@
 //! persistent heading can be walked across the grid. The adjacency agrees
 //! with [`crate::Topology::hex_grid`] (tested).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::CellId;
 use crate::topology::Topology;
 
 /// The six hexagonal travel directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HexDir {
     /// East.
     E,
@@ -70,7 +68,7 @@ impl HexDir {
 }
 
 /// A `rows × cols` hexagonal grid in odd-r offset coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HexGrid {
     rows: usize,
     cols: usize,

@@ -2,18 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a cell (equivalently its base station) in the system.
 ///
 /// This is a *global* index into the system's cell array. The paper also
 /// uses a per-cell local indexing (Fig. 2: the current cell is 0, neighbors
 /// are 1, 2, …); that local view is just a position in
 /// [`crate::Topology::neighbors`] and never needs its own type.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellId(pub u32);
 
 impl CellId {
@@ -33,10 +28,7 @@ impl fmt::Display for CellId {
 
 /// Identifies a connection (and, since the paper assumes one connection per
 /// mobile, the mobile carrying it).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnectionId(pub u64);
 
 impl fmt::Display for ConnectionId {
@@ -46,7 +38,7 @@ impl fmt::Display for ConnectionId {
 }
 
 /// Allocates unique [`ConnectionId`]s for one simulation run.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct ConnectionIdAllocator {
     next: u64,
 }
@@ -69,6 +61,9 @@ impl ConnectionIdAllocator {
         self.next
     }
 }
+
+qres_json::json_transparent!(CellId);
+qres_json::json_transparent!(ConnectionId);
 
 #[cfg(test)]
 mod tests {

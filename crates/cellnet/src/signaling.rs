@@ -15,12 +15,10 @@
 //! *calculations*; this module additionally counts the underlying messages
 //! and hops so the examples can contrast the two backbone options.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::CellId;
 
 /// The backbone interconnection among BSs (paper Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BsNetworkKind {
     /// Star topology: all BS-to-BS traffic relays through the MSC (2 hops).
     StarViaMsc,
@@ -39,7 +37,7 @@ impl BsNetworkKind {
 }
 
 /// The control messages of the reservation protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MessageKind {
     /// Cell 0 announces its current `T_est,0` to an adjacent BS, asking for
     /// that BS's hand-off bandwidth contribution.
@@ -67,7 +65,7 @@ impl MessageKind {
 }
 
 /// Aggregate counters of backbone signaling traffic.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MessageStats {
     /// Messages sent.
     pub messages: u64,
@@ -87,7 +85,7 @@ impl MessageStats {
 }
 
 /// The inter-BS signaling fabric: a backbone kind plus traffic accounting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BsNetwork {
     kind: BsNetworkKind,
     stats: MessageStats,
@@ -163,6 +161,16 @@ impl BsNetwork {
         self.per_kind = [(0, 0); 4];
     }
 }
+
+qres_json::json_unit_enum!(BsNetworkKind {
+    StarViaMsc,
+    FullyConnected
+});
+qres_json::json_struct!(MessageStats {
+    messages,
+    hops,
+    bytes
+});
 
 #[cfg(test)]
 mod tests {

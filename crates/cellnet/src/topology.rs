@@ -10,12 +10,10 @@
 //! [`Topology`] is a precomputed adjacency structure; neighbor lists are
 //! sorted, so iteration over `A_i` is deterministic.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::CellId;
 
 /// A fixed cell-adjacency graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     adjacency: Vec<Vec<CellId>>,
 }
@@ -205,9 +203,6 @@ mod tests {
     #[test]
     fn neighbors_are_sorted_for_determinism() {
         let t = Topology::from_edges(4, &[(2, 3), (2, 0), (2, 1)]);
-        assert_eq!(
-            t.neighbors(CellId(2)),
-            &[CellId(0), CellId(1), CellId(3)]
-        );
+        assert_eq!(t.neighbors(CellId(2)), &[CellId(0), CellId(1), CellId(3)]);
     }
 }

@@ -16,14 +16,11 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 use crate::bu::Bandwidth;
 use crate::ids::{CellId, ConnectionId};
 
 /// Identifies a node of the wired backbone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -33,8 +30,7 @@ impl NodeId {
 }
 
 /// Identifies a wired link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -44,7 +40,7 @@ impl LinkId {
 }
 
 /// The role of a backbone node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// A base station serving the given cell.
     BaseStation(CellId),
@@ -55,7 +51,7 @@ pub enum NodeKind {
     Gateway,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Link {
     a: NodeId,
     b: NodeId,
@@ -96,7 +92,7 @@ impl std::fmt::Display for WiredError {
 impl std::error::Error for WiredError {}
 
 /// A capacitated wired backbone with per-connection path allocations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WiredNetwork {
     nodes: Vec<NodeKind>,
     links: Vec<Link>,
@@ -333,7 +329,9 @@ impl WiredNetwork {
             return Err(WiredError::AlreadyAllocated);
         }
         let &bs = self.bs_of_cell.get(&cell).ok_or(WiredError::UnknownCell)?;
-        let path = self.min_hop_path(bs, bw).ok_or(WiredError::NoFeasiblePath)?;
+        let path = self
+            .min_hop_path(bs, bw)
+            .ok_or(WiredError::NoFeasiblePath)?;
         for &link in &path {
             self.links[link.index()].used += bw;
         }
@@ -376,8 +374,7 @@ impl WiredNetwork {
         let mut queue = VecDeque::from([from]);
         'bfs: while let Some(node) = queue.pop_front() {
             for &(link, nb) in &self.adjacency[node.index()] {
-                let feasible =
-                    self.links[link.index()].free() >= bw || held.contains(&link);
+                let feasible = self.links[link.index()].free() >= bw || held.contains(&link);
                 if visited[nb.index()] || !feasible {
                     continue;
                 }
@@ -441,7 +438,8 @@ impl WiredNetwork {
     }
 
     /// Bandwidth-accounting invariant: every link's usage equals the sum
-    /// of allocations crossing it.
+    /// of allocations crossing it, and the adjacency lists mirror the link
+    /// endpoints exactly.
     pub fn check_invariants(&self) -> bool {
         let mut expected = vec![Bandwidth::ZERO; self.links.len()];
         for (bw, path) in self.paths.values() {
@@ -449,10 +447,21 @@ impl WiredNetwork {
                 expected[link.index()] += *bw;
             }
         }
-        self.links
+        let usage_ok = self
+            .links
             .iter()
             .zip(expected)
-            .all(|(l, e)| l.used == e && l.used <= l.capacity)
+            .all(|(l, e)| l.used == e && l.used <= l.capacity);
+        let adjacency_ok = self.links.iter().enumerate().all(|(i, l)| {
+            let id = LinkId(i as u32);
+            self.adjacency[l.a.index()]
+                .iter()
+                .any(|&(lk, nb)| lk == id && nb == l.b)
+                && self.adjacency[l.b.index()]
+                    .iter()
+                    .any(|&(lk, nb)| lk == id && nb == l.a)
+        });
+        usage_ok && adjacency_ok
     }
 }
 
@@ -474,7 +483,10 @@ mod tests {
         assert!(net.check_invariants());
         // Access link holds 4, trunk holds 4.
         assert!(net.can_allocate(CellId(0), bw(6)));
-        assert!(!net.can_allocate(CellId(0), bw(7)), "access link has 6 free");
+        assert!(
+            !net.can_allocate(CellId(0), bw(7)),
+            "access link has 6 free"
+        );
         net.release(ConnectionId(1)).unwrap();
         assert!(net.can_allocate(CellId(0), bw(10)));
         assert!(net.check_invariants());
@@ -484,7 +496,8 @@ mod tests {
     fn trunk_capacity_limits_everyone() {
         let mut net = WiredNetwork::star(4, bw(100), bw(10));
         for i in 0..2 {
-            net.allocate(ConnectionId(i), CellId(i as u32), bw(4)).unwrap();
+            net.allocate(ConnectionId(i), CellId(i as u32), bw(4))
+                .unwrap();
         }
         // Trunk at 8/10: a 4-BU connection cannot fit anywhere.
         for cell in 0..4u32 {

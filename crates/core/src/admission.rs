@@ -11,12 +11,11 @@
 //! whole-network access; this module defines the vocabulary types.
 
 use qres_cellnet::Bandwidth;
-use serde::{Deserialize, Serialize};
 
 use crate::ns_scheme::NsParams;
 
 /// Which predictive admission-control variant to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcKind {
     /// AC1 — Eq. 1 in the requesting cell only.
     Ac1,
@@ -39,7 +38,7 @@ impl AcKind {
 }
 
 /// The admission-control scheme, including the baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SchemeConfig {
     /// Static reservation: `G` BUs permanently reserved for hand-offs in
     /// every cell (the mid-80s guard-channel scheme the paper compares
@@ -70,7 +69,10 @@ impl SchemeConfig {
             SchemeConfig::Static { guard } => format!("static(G={})", guard.as_bus()),
             SchemeConfig::Predictive { kind } => kind.label().to_string(),
             SchemeConfig::NaghshinehSchwartz { params } => {
-                format!("NS(T={},tau={})", params.window_secs, params.mean_sojourn_secs)
+                format!(
+                    "NS(T={},tau={})",
+                    params.window_secs, params.mean_sojourn_secs
+                )
             }
         }
     }
@@ -95,7 +97,7 @@ impl SchemeConfig {
 }
 
 /// The outcome of a new-connection admission test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdmissionDecision {
     /// The connection was admitted and its bandwidth allocated.
     Admitted,

@@ -1,14 +1,14 @@
 //! Configuration of the reservation system.
 
 use qres_cellnet::Bandwidth;
+use qres_des::Duration;
 use qres_mobility::HoeConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::admission::SchemeConfig;
 use crate::window_control::StepPolicy;
 
 /// Full configuration of one cell network's reservation machinery.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QresConfig {
     /// The hand-off dropping probability target `P_HD,target`.
     pub p_hd_target: f64,
@@ -24,6 +24,15 @@ pub struct QresConfig {
     /// 100 BU; per-cell capacities can be overridden at system
     /// construction).
     pub capacity: Bandwidth,
+    /// How stale a memoized `B_i,0` neighbor contribution may be before it
+    /// is recomputed. A contribution is reused only while the neighbor's
+    /// cell membership, its estimation cache, and the target's `T_est` are
+    /// all unchanged **and** the evaluation time moved forward by at most
+    /// this much. The default `ZERO` reuses results only at the exact same
+    /// instant — always fresh, bit-identical to no memoization; positive
+    /// values trade accuracy (extant sojourns in Eq. 4 lag by up to the
+    /// tolerance) for fewer evaluations under bursty admission traffic.
+    pub br_staleness_tolerance: Duration,
 }
 
 impl QresConfig {
@@ -38,6 +47,7 @@ impl QresConfig {
             hoe: HoeConfig::stationary(),
             scheme,
             capacity: Bandwidth::from_bus(100),
+            br_staleness_tolerance: Duration::ZERO,
         }
     }
 
@@ -57,9 +67,10 @@ impl QresConfig {
             "P_HD,target must be in (0,1)"
         );
         assert!(self.t_start_secs >= 1, "T_start must be >= 1 s");
+        assert!(!self.capacity.is_zero(), "cell capacity must be positive");
         assert!(
-            !self.capacity.is_zero(),
-            "cell capacity must be positive"
+            self.br_staleness_tolerance.as_secs() >= 0.0,
+            "B_r staleness tolerance cannot be negative"
         );
         self.hoe.validate();
         self.scheme.validate(self.capacity);

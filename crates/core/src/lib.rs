@@ -38,8 +38,8 @@ pub mod system;
 pub mod window_control;
 
 pub use admission::{AcKind, AdmissionDecision, SchemeConfig};
-pub use ns_scheme::NsParams;
 pub use config::QresConfig;
-pub use reservation::neighbor_contribution;
+pub use ns_scheme::NsParams;
+pub use reservation::{neighbor_contribution, neighbor_contribution_naive};
 pub use system::{HandoffOutcome, NewConnectionRequest, ReservationSystem};
 pub use window_control::{StepPolicy, WindowController};

@@ -29,10 +29,8 @@
 //! parameter adapts, and the per-connection residence history is ignored —
 //! which is exactly what the comparison experiment demonstrates.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the reconstructed Naghshineh–Schwartz baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NsParams {
     /// The estimation interval `T_ns` (seconds). NS fix this a priori;
     /// there is no drop-driven adaptation.

@@ -17,7 +17,10 @@
 
 use qres_cellnet::{Cell, CellId};
 use qres_des::{Duration, SimTime};
-use qres_mobility::{handoff_probability, known_next_probability, HandoffQuery, HoeCache};
+use qres_mobility::{
+    batched_contribution, handoff_probability, known_next_probability, ConnQuery, HandoffQuery,
+    HoeCache,
+};
 
 /// Computes one neighbor's contribution `B_i,0` (Eq. 5): the fractional
 /// bandwidth cell `i` (= `neighbor_cell`, with estimation state
@@ -27,6 +30,12 @@ use qres_mobility::{handoff_probability, known_next_probability, HandoffQuery, H
 /// In deployment this computation runs *in cell `i`'s BS* after receiving
 /// the target's `T_est` announcement (the caller accounts that exchange on
 /// the signaling fabric).
+///
+/// Evaluates Eq. 4 through the batched estimator
+/// ([`qres_mobility::batched_contribution`]): the whole population's
+/// probabilities in merged sweeps over the estimation snapshots, with
+/// denominators shared across connections of equal `(prev, T_ext-soj)`.
+/// The result is bit-identical to [`neighbor_contribution_naive`].
 pub fn neighbor_contribution(
     neighbor_cell: &Cell,
     neighbor_cache: &mut HoeCache,
@@ -34,7 +43,38 @@ pub fn neighbor_contribution(
     target: CellId,
     t_est_of_target: Duration,
 ) -> f64 {
-    debug_assert_ne!(neighbor_cell.id(), target, "a cell does not hand off to itself");
+    debug_assert_ne!(
+        neighbor_cell.id(),
+        target,
+        "a cell does not hand off to itself"
+    );
+    let conns: Vec<ConnQuery> = neighbor_cell
+        .connections()
+        .map(|conn| ConnQuery {
+            prev: conn.prev,
+            known_next: conn.known_next,
+            extant_sojourn: conn.extant_sojourn(now),
+            bandwidth: conn.bandwidth.as_f64(),
+        })
+        .collect();
+    batched_contribution(neighbor_cache, now, target, t_est_of_target, &conns)
+}
+
+/// The one-connection-at-a-time reference evaluation of `B_i,0` — the
+/// specification [`neighbor_contribution`] is verified against (see the
+/// differential tests and the `reservation_b_i0` benchmark's side-by-side).
+pub fn neighbor_contribution_naive(
+    neighbor_cell: &Cell,
+    neighbor_cache: &mut HoeCache,
+    now: SimTime,
+    target: CellId,
+    t_est_of_target: Duration,
+) -> f64 {
+    debug_assert_ne!(
+        neighbor_cell.id(),
+        target,
+        "a cell does not hand off to itself"
+    );
     let mut total = 0.0;
     for conn in neighbor_cell.connections() {
         let query = HandoffQuery {
@@ -49,9 +89,7 @@ pub fn neighbor_contribution(
             // declared, so the estimation function is used "to estimate
             // the sojourn time of a mobile only" — and the connection
             // contributes nothing toward any other cell.
-            Some(declared) if declared == target => {
-                known_next_probability(neighbor_cache, query)
-            }
+            Some(declared) if declared == target => known_next_probability(neighbor_cache, query),
             Some(_) => 0.0,
             None => handoff_probability(neighbor_cache, query),
         };
@@ -116,7 +154,13 @@ mod tests {
     fn empty_cell_contributes_nothing() {
         let cell = cell_with(&[]);
         let mut cache = trained_cache();
-        let b = neighbor_contribution(&cell, &mut cache, SimTime::from_secs(100.0), CellId(0), s(60.0));
+        let b = neighbor_contribution(
+            &cell,
+            &mut cache,
+            SimTime::from_secs(100.0),
+            CellId(0),
+            s(60.0),
+        );
         assert_eq!(b, 0.0);
     }
 
@@ -128,7 +172,13 @@ mod tests {
         // Within T_est = 20: (10, 30] covers 25 → p = 1/2.
         let cell = cell_with(&[(1, 4, Some(2), 100.0)]);
         let mut cache = trained_cache();
-        let b = neighbor_contribution(&cell, &mut cache, SimTime::from_secs(110.0), CellId(0), s(20.0));
+        let b = neighbor_contribution(
+            &cell,
+            &mut cache,
+            SimTime::from_secs(110.0),
+            CellId(0),
+            s(20.0),
+        );
         assert!((b - 4.0 * 0.5).abs() < 1e-12);
     }
 
@@ -138,10 +188,22 @@ mod tests {
         // cell 0 → zero contribution toward cell 0.
         let cell = cell_with(&[(1, 1, Some(0), 100.0)]);
         let mut cache = trained_cache();
-        let b = neighbor_contribution(&cell, &mut cache, SimTime::from_secs(105.0), CellId(0), s(1_000.0));
+        let b = neighbor_contribution(
+            &cell,
+            &mut cache,
+            SimTime::from_secs(105.0),
+            CellId(0),
+            s(1_000.0),
+        );
         assert_eq!(b, 0.0);
         // But toward cell 2 it contributes fully with a huge window.
-        let b2 = neighbor_contribution(&cell, &mut cache, SimTime::from_secs(105.0), CellId(2), s(1_000.0));
+        let b2 = neighbor_contribution(
+            &cell,
+            &mut cache,
+            SimTime::from_secs(105.0),
+            CellId(2),
+            s(1_000.0),
+        );
         assert!((b2 - 1.0).abs() < 1e-12);
     }
 
@@ -213,12 +275,48 @@ mod tests {
     }
 
     #[test]
+    fn batched_path_equals_naive_reference_exactly() {
+        let cell = cell_with(&[
+            (1, 4, Some(2), 100.0),
+            (2, 1, Some(2), 100.0), // same (prev, extant) as above
+            (3, 1, Some(0), 95.0),
+            (4, 4, None, 90.0),
+            (5, 1, Some(7), 80.0), // unknown history
+        ]);
+        for t_est in [1.0, 10.0, 30.0, 1_000.0] {
+            for now in [100.0, 105.0, 120.0] {
+                let b = neighbor_contribution(
+                    &cell,
+                    &mut trained_cache(),
+                    SimTime::from_secs(now),
+                    CellId(0),
+                    s(t_est),
+                );
+                let naive = neighbor_contribution_naive(
+                    &cell,
+                    &mut trained_cache(),
+                    SimTime::from_secs(now),
+                    CellId(0),
+                    s(t_est),
+                );
+                assert_eq!(b, naive, "now = {now}, T_est = {t_est}");
+            }
+        }
+    }
+
+    #[test]
     fn stationary_mobiles_contribute_nothing() {
         // Extant sojourn 90 s exceeds every cached sojourn for prev = 2 →
         // estimated stationary.
         let cell = cell_with(&[(1, 4, Some(2), 10.0)]);
         let mut cache = trained_cache();
-        let b = neighbor_contribution(&cell, &mut cache, SimTime::from_secs(100.0), CellId(0), s(1_000.0));
+        let b = neighbor_contribution(
+            &cell,
+            &mut cache,
+            SimTime::from_secs(100.0),
+            CellId(0),
+            s(1_000.0),
+        );
         assert_eq!(b, 0.0);
     }
 }

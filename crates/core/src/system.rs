@@ -63,6 +63,18 @@ impl HandoffOutcome {
     }
 }
 
+/// One memoized neighbor-contribution evaluation: `value` is `B_i,target`
+/// as computed at `now` with the target's `t_est`, while the neighbor's
+/// cell registry and estimation cache stood at the recorded versions.
+#[derive(Debug, Clone, Copy)]
+struct NeighborMemo {
+    cell_version: u64,
+    hoe_version: u64,
+    t_est: Duration,
+    now: SimTime,
+    value: f64,
+}
+
 /// One cell plus its base station's scheme state.
 #[derive(Debug, Clone)]
 struct CellSite {
@@ -72,6 +84,10 @@ struct CellSite {
     /// `B_r,i^prev` — the most recently computed target, consulted by
     /// AC3's suspect test and exported for the `B_r` metrics.
     last_br: f64,
+    /// Per-neighbor memo of the last `B_i,·` contribution *into this cell*,
+    /// reused by [`ReservationSystem::compute_br`] while the epoch keys
+    /// match (see [`QresConfig::br_staleness_tolerance`]).
+    br_memo: std::collections::BTreeMap<CellId, NeighborMemo>,
 }
 
 /// The full reservation system over one cellular network.
@@ -83,6 +99,7 @@ pub struct ReservationSystem {
     /// Per-admission-test count of `B_r` computations (`N_calc`).
     n_calc: Welford,
     br_calcs_total: u64,
+    br_memo_hits: u64,
 }
 
 impl ReservationSystem {
@@ -101,6 +118,7 @@ impl ReservationSystem {
                     config.step_policy,
                 ),
                 last_br: 0.0,
+                br_memo: std::collections::BTreeMap::new(),
             })
             .collect();
         ReservationSystem {
@@ -110,6 +128,7 @@ impl ReservationSystem {
             signaling: BsNetwork::new(backbone),
             n_calc: Welford::new(),
             br_calcs_total: 0,
+            br_memo_hits: 0,
         }
     }
 
@@ -159,14 +178,31 @@ impl ReservationSystem {
         self.br_calcs_total
     }
 
+    /// How many neighbor-contribution evaluations were answered from the
+    /// epoch memo instead of being recomputed. A memo hit still counts in
+    /// `N_calc` and on the signaling fabric — the *logical* protocol is
+    /// unchanged; only the local arithmetic is skipped.
+    pub fn br_memo_hits(&self) -> u64 {
+        self.br_memo_hits
+    }
+
     /// Computes `B_r,target` (Eqs. 5–6), updating `last_br`, signaling
     /// counters and the calculation total. One call = one `N_calc` unit.
+    ///
+    /// Each neighbor's `B_i,target` term is memoized under an epoch key —
+    /// the neighbor's cell version, its estimation-cache version, and the
+    /// target's `T_est` — and reused while all three are unchanged and the
+    /// evaluation time advanced by at most the configured staleness
+    /// tolerance. With the default tolerance of zero a term is reused only
+    /// at the exact same instant, which is bit-identical to recomputing it.
     fn compute_br(&mut self, now: SimTime, target: CellId) -> f64 {
         let t_est = self.sites[target.index()].controller.t_est();
+        let tolerance = self.config.br_staleness_tolerance;
         let Self {
             topology,
             sites,
             signaling,
+            br_memo_hits,
             ..
         } = self;
         let mut br = 0.0;
@@ -174,8 +210,41 @@ impl ReservationSystem {
             // The target's BS announces T_est and the neighbor replies
             // with its contribution: one round-trip per neighbor.
             signaling.reservation_exchange(target, nb);
-            let site = &mut sites[nb.index()];
-            br += neighbor_contribution(&site.cell, &mut site.hoe, now, target, t_est);
+            let cell_version = sites[nb.index()].cell.version();
+            let hoe_version = sites[nb.index()].hoe.version();
+            let memo_hit = sites[target.index()].br_memo.get(&nb).copied().filter(|m| {
+                m.cell_version == cell_version
+                    && m.hoe_version == hoe_version
+                    && m.t_est == t_est
+                    && now >= m.now
+                    && now - m.now <= tolerance
+            });
+            br += match memo_hit {
+                Some(m) => {
+                    *br_memo_hits += 1;
+                    m.value
+                }
+                None => {
+                    let site = &mut sites[nb.index()];
+                    let value =
+                        neighbor_contribution(&site.cell, &mut site.hoe, now, target, t_est);
+                    // The evaluation may have rebuilt the neighbor's
+                    // snapshot (bumping its version): key the memo on the
+                    // post-evaluation state it reflects.
+                    let hoe_version = site.hoe.version();
+                    sites[target.index()].br_memo.insert(
+                        nb,
+                        NeighborMemo {
+                            cell_version,
+                            hoe_version,
+                            t_est,
+                            now,
+                            value,
+                        },
+                    );
+                    value
+                }
+            };
         }
         self.sites[target.index()].last_br = br;
         self.br_calcs_total += 1;
@@ -235,8 +304,7 @@ impl ReservationSystem {
                 }
             }
         };
-        self.n_calc
-            .add((self.br_calcs_total - calcs_before) as f64);
+        self.n_calc.add((self.br_calcs_total - calcs_before) as f64);
         if decision.is_admitted() {
             self.sites[req.cell.index()]
                 .cell
@@ -276,10 +344,13 @@ impl ReservationSystem {
             AcKind::Ac2 => {
                 // Every adjacent cell recomputes and tests; the paper's
                 // N_calc for AC2 is constant (1 + |A_0|), so no
-                // short-circuiting.
-                let neighbors: Vec<CellId> = self.topology.neighbors(req.cell).to_vec();
+                // short-circuiting. Indexed access re-reads the adjacency
+                // per iteration instead of cloning it: this runs on every
+                // admission test.
+                let num_neighbors = self.topology.neighbors(req.cell).len();
                 let mut veto: Option<u8> = None;
-                for (rank, nb) in neighbors.into_iter().enumerate() {
+                for rank in 0..num_neighbors {
+                    let nb = self.topology.neighbors(req.cell)[rank];
                     self.signaling.admission_check_exchange(req.cell, nb);
                     if !self.neighbor_feasible(now, nb) && veto.is_none() {
                         veto = Some(rank as u8);
@@ -296,9 +367,10 @@ impl ReservationSystem {
             AcKind::Ac3 => {
                 // Only neighbors that appear unable to reserve their
                 // previous target participate: Σ b + B_r,i^prev > C(i).
-                let neighbors: Vec<CellId> = self.topology.neighbors(req.cell).to_vec();
+                let num_neighbors = self.topology.neighbors(req.cell).len();
                 let mut veto: Option<u8> = None;
-                for (rank, nb) in neighbors.into_iter().enumerate() {
+                for rank in 0..num_neighbors {
+                    let nb = self.topology.neighbors(req.cell)[rank];
                     let site = &self.sites[nb.index()];
                     let suspect =
                         site.cell.used().as_f64() + site.last_br > site.cell.capacity().as_f64();
@@ -485,14 +557,18 @@ mod tests {
         }
         assert_eq!(sys.cell(CellId(0)).used().as_bus(), 88);
         // 4 more BUs would exceed 90.
-        assert!(sys.request_new_connection(s(2.0), req(0, 99, 4)).is_blocked());
+        assert!(sys
+            .request_new_connection(s(2.0), req(0, 99, 4))
+            .is_blocked());
         // ... but 2 BUs fit (88+2 = 90).
         assert!(sys
             .request_new_connection(s(2.0), req(0, 100, 2))
             .is_admitted());
         // Hand-offs may use the guard band: cell 0 is at 90/100.
         // Build a connection in cell 1 and hand it into cell 0.
-        assert!(sys.request_new_connection(s(3.0), req(1, 200, 4)).is_admitted());
+        assert!(sys
+            .request_new_connection(s(3.0), req(1, 200, 4))
+            .is_admitted());
         assert_eq!(
             sys.attempt_handoff(s(4.0), ConnectionId(200), CellId(1), CellId(0)),
             HandoffOutcome::Completed
@@ -758,7 +834,12 @@ mod tests {
         // March the cell-1 population into cell 2 (never into cell 0) and
         // replace it — history now says "cell 1 mobiles go to cell 2".
         for i in 0..30u64 {
-            sys.attempt_handoff(s(40.0 + i as f64 * 0.01), ConnectionId(i), CellId(1), CellId(2));
+            sys.attempt_handoff(
+                s(40.0 + i as f64 * 0.01),
+                ConnectionId(i),
+                CellId(1),
+                CellId(2),
+            );
         }
         for i in 0..30u64 {
             sys.end_connection(s(41.0 + i as f64 * 0.01), ConnectionId(i), CellId(2));
@@ -772,6 +853,68 @@ mod tests {
             (before - after).abs() < 1e-9,
             "NS reserve changed with history: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn memo_hits_at_identical_instant_with_zero_tolerance() {
+        let mut sys = system(SchemeConfig::Predictive { kind: AcKind::Ac1 });
+        // Populate a neighbor so contributions are non-trivial.
+        for i in 0..10 {
+            sys.request_new_connection(s(0.5 + i as f64 * 0.01), req(1, 500 + i, 1));
+        }
+        // Two admission tests in cell 0 at the same instant: the second
+        // finds both neighbor terms memoized (the admitted connection went
+        // into cell 0, not its neighbors).
+        sys.request_new_connection(s(1.0), req(0, 1, 1));
+        let hits_before = sys.br_memo_hits();
+        sys.request_new_connection(s(1.0), req(0, 2, 1));
+        assert_eq!(sys.br_memo_hits() - hits_before, 2);
+        // N_calc and signaling keep counting logical computations.
+        assert_eq!(sys.n_calc_stats().mean(), Some(1.0));
+        // At a later instant, zero tolerance forces recomputation.
+        let hits_before = sys.br_memo_hits();
+        sys.request_new_connection(s(2.0), req(0, 3, 1));
+        assert_eq!(sys.br_memo_hits(), hits_before);
+    }
+
+    #[test]
+    fn memo_invalidated_by_neighbor_mutation() {
+        let mut sys = system(SchemeConfig::Predictive { kind: AcKind::Ac1 });
+        sys.request_new_connection(s(1.0), req(0, 1, 1));
+        // Mutate neighbor 1 (cell version bump) at the same instant; the
+        // next cell-0 test must recompute that term, while untouched
+        // neighbor 9's term still hits.
+        sys.request_new_connection(s(1.0), req(1, 100, 1));
+        let hits_before = sys.br_memo_hits();
+        sys.request_new_connection(s(1.0), req(0, 2, 1));
+        assert_eq!(sys.br_memo_hits() - hits_before, 1);
+    }
+
+    #[test]
+    fn positive_tolerance_reuses_and_matches_fresh_value() {
+        let config = {
+            let mut c =
+                QresConfig::paper_stationary(SchemeConfig::Predictive { kind: AcKind::Ac1 });
+            c.br_staleness_tolerance = Duration::from_secs(5.0);
+            c
+        };
+        let mut sys =
+            ReservationSystem::new(config, Topology::ring(10), BsNetworkKind::FullyConnected);
+        for i in 0..10 {
+            sys.request_new_connection(s(0.5 + i as f64 * 0.01), req(1, 500 + i, 1));
+        }
+        sys.request_new_connection(s(1.0), req(0, 1, 1));
+        let first_br = sys.last_br(CellId(0));
+        // 2 s later, within tolerance, neighbors unchanged: both terms are
+        // reused and B_r repeats the memoized value.
+        let hits_before = sys.br_memo_hits();
+        sys.request_new_connection(s(3.0), req(0, 2, 1));
+        assert_eq!(sys.br_memo_hits() - hits_before, 2);
+        assert_eq!(sys.last_br(CellId(0)), first_br);
+        // Past the tolerance, both terms are recomputed.
+        let hits_before = sys.br_memo_hits();
+        sys.request_new_connection(s(9.0), req(0, 3, 1));
+        assert_eq!(sys.br_memo_hits(), hits_before);
     }
 
     #[test]

@@ -31,10 +31,9 @@
 //! finding.
 
 use qres_des::Duration;
-use serde::{Deserialize, Serialize};
 
 /// How consecutive same-direction adjustments scale the `T_est` step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepPolicy {
     /// ±1 s always — the paper's chosen policy.
     Fixed,
@@ -72,7 +71,7 @@ pub enum WindowEvent {
 }
 
 /// Per-cell adaptive `T_est` controller (paper Fig. 6).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WindowController {
     /// `w = ⌈1 / P_HD,target⌉` — the reference window size.
     w: u64,
@@ -241,7 +240,7 @@ mod tests {
         c.observe_handoff(true, soj(100.0));
         assert_eq!(c.t_est_secs(), 3);
         let w_obs = c.w_obs(); // 300
-        // Complete the window with successful hand-offs. n_h is already 3.
+                               // Complete the window with successful hand-offs. n_h is already 3.
         for _ in 0..(w_obs - c.n_h()) {
             assert_eq!(c.observe_handoff(false, soj(100.0)), WindowEvent::None);
         }
@@ -277,7 +276,10 @@ mod tests {
         assert_eq!(c.t_est_secs(), 2);
         c.observe_handoff(true, soj(2.0));
         // Already at cap: no growth.
-        assert_eq!(c.observe_handoff(true, soj(2.0)), WindowEvent::IncreaseCapped);
+        assert_eq!(
+            c.observe_handoff(true, soj(2.0)),
+            WindowEvent::IncreaseCapped
+        );
         assert_eq!(c.t_est_secs(), 2);
         // W_obs still extended on the capped attempts (quota bookkeeping
         // continues even when T_est cannot move).

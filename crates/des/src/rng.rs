@@ -11,10 +11,8 @@
 //!    arrival pattern, isolating the scheme effect from sampling noise.
 //!
 //! Stream derivation is a SplitMix64 hash of `(master_seed, stream label)`,
-//! feeding `StdRng` (ChaCha-based in `rand` 0.8).
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! feeding a self-contained xoshiro256++ generator (no external crates, so
+//! the workspace builds in fully offline environments).
 
 /// SplitMix64 step — the canonical 64-bit mix used to expand seeds.
 #[inline]
@@ -37,8 +35,117 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// A deterministic RNG for one named stream. Alias of `rand::rngs::StdRng`.
-pub type StreamRng = StdRng;
+/// A deterministic RNG for one named stream: xoshiro256++ seeded via
+/// SplitMix64 (Blackman & Vigna). 64-bit output, period 2^256 − 1,
+/// passes BigCrush; entirely self-contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRng {
+    s: [u64; 4],
+}
+
+impl StreamRng {
+    /// Expands a 64-bit seed into the full 256-bit state (the seeding
+    /// procedure recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StreamRng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with full 53-bit precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// `true` with the given probability.
+    #[inline]
+    pub fn gen_bool(&mut self, probability: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&probability));
+        self.gen_f64() < probability
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` (Lemire's widening-multiply
+    /// rejection method). `bound` must be non-zero.
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in the half-open range `lo..hi`.
+    #[inline]
+    pub fn gen_range<T: UniformInt>(&mut self, range: core::ops::Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "gen_range requires a non-empty range");
+        T::from_u64(lo + self.bounded_u64(hi - lo))
+    }
+
+    /// Uniform index in `[0, len)`; convenience for slice indexing.
+    #[inline]
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_range(0..len)
+    }
+}
+
+/// Unsigned integer types usable with [`StreamRng::gen_range`].
+pub trait UniformInt: Copy {
+    /// Widens to `u64`.
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64` (the value is guaranteed to fit).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
 
 /// Derives independent named RNG streams from a master seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,21 +180,22 @@ impl RngFactory {
 
     /// Creates the RNG for a `(label, index)` stream.
     pub fn stream(&self, label: &str, index: u64) -> StreamRng {
-        StdRng::seed_from_u64(self.derive_seed(label, index))
+        StreamRng::seed_from_u64(self.derive_seed(label, index))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream() {
         let f1 = RngFactory::new(42);
         let f2 = RngFactory::new(42);
-        let a: Vec<u64> = f1.stream("arrivals", 3).sample_iter(rand::distributions::Standard).take(32).collect();
-        let b: Vec<u64> = f2.stream("arrivals", 3).sample_iter(rand::distributions::Standard).take(32).collect();
+        let mut r1 = f1.stream("arrivals", 3);
+        let mut r2 = f2.stream("arrivals", 3);
+        let a: Vec<u64> = (0..32).map(|_| r1.next_u64()).collect();
+        let b: Vec<u64> = (0..32).map(|_| r2.next_u64()).collect();
         assert_eq!(a, b);
     }
 
@@ -104,7 +212,11 @@ mod tests {
         let mut unique = seeds.clone();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), seeds.len(), "per-index seeds must be distinct");
+        assert_eq!(
+            unique.len(),
+            seeds.len(),
+            "per-index seeds must be distinct"
+        );
     }
 
     #[test]
@@ -120,8 +232,42 @@ mod tests {
         let f = RngFactory::new(7);
         let mut rng = f.stream("uniformity", 0);
         let n = 10_000;
-        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let sum: f64 = (0..n).map(|_| rng.gen_f64()).sum();
         let mean = sum / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn known_xoshiro_vector() {
+        // Reference sequence from the public-domain xoshiro256++ C source
+        // seeded with the all-distinct state below.
+        let mut rng = StreamRng { s: [1, 2, 3, 4] };
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(first, vec![41943041, 58720359, 3588806011781223]);
+    }
+
+    #[test]
+    fn gen_range_covers_and_stays_in_bounds() {
+        let mut rng = StreamRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0u8..6);
+            assert!(v < 6);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+        for _ in 0..100 {
+            let v = rng.gen_range(5u32..6);
+            assert_eq!(v, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StreamRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
     }
 }

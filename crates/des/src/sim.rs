@@ -239,7 +239,9 @@ mod tests {
     #[test]
     fn handler_can_cancel_pending_events() {
         let mut sim = Simulation::new();
-        let doomed = sim.queue_mut().schedule(SimTime::from_secs(2.0), Ev::Tick(99));
+        let doomed = sim
+            .queue_mut()
+            .schedule(SimTime::from_secs(2.0), Ev::Tick(99));
         sim.queue_mut().schedule(SimTime::from_secs(1.0), Ev::Stop);
         let mut ticks = 0;
         sim.run(&mut |_: SimTime, ev: Ev, q: &mut EventQueue<Ev>| match ev {

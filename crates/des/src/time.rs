@@ -30,8 +30,7 @@ pub const SECS_PER_WEEK: f64 = 7.0 * SECS_PER_DAY;
 /// keeps ordering-based containers (the event queue) sound. Negative times
 /// are permitted — the periodic-window arithmetic of Eq. 2 subtracts
 /// multiples of `T_day` and may legitimately produce negative instants.
-#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -156,8 +155,7 @@ impl fmt::Display for SimTime {
 }
 
 /// A span of simulation time, in seconds. May be negative (a directed span).
-#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct Duration(f64);
 
 impl Duration {

@@ -1,14 +1,17 @@
-//! Property-based tests of the event queue's ordering contract — the
-//! foundation of run determinism.
+//! Randomized tests of the event queue's ordering contract — the foundation
+//! of run determinism. (Seeded-RNG loops stand in for proptest, which is
+//! unavailable offline.)
 
-use proptest::prelude::*;
-use qres_des::{EventQueue, SimTime};
+use qres_des::{EventQueue, SimTime, StreamRng};
 
-proptest! {
-    /// Pops come out sorted by time, FIFO within equal times, regardless
-    /// of the schedule order.
-    #[test]
-    fn pops_sorted_and_fifo(times in prop::collection::vec(0u32..50, 1..200)) {
+/// Pops come out sorted by time, FIFO within equal times, regardless of the
+/// schedule order.
+#[test]
+fn pops_sorted_and_fifo() {
+    let mut rng = StreamRng::seed_from_u64(0xDE50_0001);
+    for _ in 0..300 {
+        let n = rng.gen_range(1usize..200);
+        let times: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..50)).collect();
         let mut q = EventQueue::new();
         for (seq, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_secs(f64::from(t)), seq);
@@ -18,23 +21,27 @@ proptest! {
         while let Some((t, seq)) = q.pop() {
             popped += 1;
             if let Some((lt, lseq)) = last {
-                prop_assert!(t >= lt, "time went backwards");
+                assert!(t >= lt, "time went backwards");
                 if t == lt {
-                    prop_assert!(seq > lseq, "FIFO violated among ties");
+                    assert!(seq > lseq, "FIFO violated among ties");
                 }
             }
             last = Some((t, seq));
         }
-        prop_assert_eq!(popped, times.len());
+        assert_eq!(popped, times.len());
     }
+}
 
-    /// Cancellation removes exactly the cancelled events, whatever the
-    /// interleaving of schedules and cancels.
-    #[test]
-    fn cancellation_is_exact(
-        times in prop::collection::vec(0u32..50, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancellation removes exactly the cancelled events, whatever the
+/// interleaving of schedules and cancels.
+#[test]
+fn cancellation_is_exact() {
+    let mut rng = StreamRng::seed_from_u64(0xDE50_0002);
+    for _ in 0..300 {
+        let n = rng.gen_range(1usize..100);
+        let times: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..50)).collect();
+        let m = rng.gen_range(1usize..100);
+        let cancel_mask: Vec<bool> = (0..m).map(|_| rng.gen_bool(0.5)).collect();
         let mut q = EventQueue::new();
         let handles: Vec<_> = times
             .iter()
@@ -45,7 +52,7 @@ proptest! {
         for (i, handle) in handles {
             let cancel = cancel_mask.get(i).copied().unwrap_or(false);
             if cancel {
-                prop_assert!(q.cancel(handle));
+                assert!(q.cancel(handle));
             } else {
                 expected.push(i);
             }
@@ -56,14 +63,19 @@ proptest! {
         }
         seen.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(seen, expected);
+        assert_eq!(seen, expected);
     }
+}
 
-    /// live_len always equals the number of events that will still pop.
-    #[test]
-    fn live_len_is_exact(
-        ops in prop::collection::vec((0u32..50, any::<bool>()), 1..100),
-    ) {
+/// live_len always equals the number of events that will still pop.
+#[test]
+fn live_len_is_exact() {
+    let mut rng = StreamRng::seed_from_u64(0xDE50_0003);
+    for _ in 0..300 {
+        let n = rng.gen_range(1usize..100);
+        let ops: Vec<(u32, bool)> = (0..n)
+            .map(|_| (rng.gen_range(0u32..50), rng.gen_bool(0.5)))
+            .collect();
         let mut q = EventQueue::new();
         let mut live = 0usize;
         let mut handles = Vec::new();
@@ -71,19 +83,19 @@ proptest! {
             handles.push(q.schedule(SimTime::from_secs(f64::from(t)), ()));
             live += 1;
             if cancel_one && live > 0 {
-                // Cancel the oldest still-live handle.
+                // Cancel the newest still-live handle.
                 if let Some(h) = handles.pop() {
                     if q.cancel(h) {
                         live -= 1;
                     }
                 }
             }
-            prop_assert_eq!(q.live_len(), live);
+            assert_eq!(q.live_len(), live);
         }
         let mut popped = 0;
         while q.pop().is_some() {
             popped += 1;
         }
-        prop_assert_eq!(popped, live);
+        assert_eq!(popped, live);
     }
 }

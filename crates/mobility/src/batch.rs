@@ -1,0 +1,396 @@
+//! Batched Eq.-4 evaluation — one cell's whole `B_i,0` contribution in a
+//! single pass over the estimation snapshots.
+//!
+//! The reservation computation (Eq. 5) evaluates `p_h` once per resident
+//! connection. Evaluated one at a time ([`crate::handoff_probability`]),
+//! every connection pays a full scan over the `(prev, ·)` snapshot range
+//! for its denominator plus two binary searches for its numerator — and
+//! connections sharing `(prev, T_ext-soj)` pay it redundantly.
+//!
+//! [`batched_contribution`] exploits the structure of a cell population
+//! instead:
+//!
+//! 1. connections are **grouped** by `(prev, conditioning)` — unconditioned
+//!    Eq. 4, or pair-conditioned for mobiles declaring `next = target`
+//!    (Section 7 route extension); mobiles declaring another next cell
+//!    contribute zero and drop out immediately;
+//! 2. each group's extant sojourns are sorted and deduplicated, so equal
+//!    `(prev, T_ext-soj)` connections share one numerator *and* one
+//!    denominator evaluation;
+//! 3. all of a group's numerators and denominators are answered by
+//!    **merged sweeps** over each snapshot's sorted sojourn/prefix arrays
+//!    ([`crate::cache::PairSnapshot::accumulate_weights_gt`]):
+//!    `O(|snapshot| + |group|)`
+//!    per snapshot rather than `O(|group| · log |snapshot|)`, and each
+//!    snapshot is visited once per group rather than once per connection.
+//!
+//! Every per-connection probability is computed by the same floating-point
+//! operations in the same order as the one-at-a-time path, and the final
+//! bandwidth-weighted sum runs in the caller's connection order — the
+//! batched result is **bit-identical** to the naive one, so the simulator's
+//! trajectories do not change when switching paths.
+
+use qres_cellnet::CellId;
+use qres_des::{Duration, SimTime};
+
+use crate::cache::{HoeCache, PrevKey};
+
+/// One connection's inputs to the batched Eq.-5 evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnQuery {
+    /// The connection's previous cell (`None` = started in this cell).
+    pub prev: PrevKey,
+    /// The mobile's declared next cell, if route information is available.
+    pub known_next: Option<CellId>,
+    /// The connection's extant sojourn time `T_ext-soj`.
+    pub extant_sojourn: Duration,
+    /// Its bandwidth `b(C_i,j)` as the Eq.-5 weight.
+    pub bandwidth: f64,
+}
+
+/// How a group's probabilities condition on the estimation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Conditioning {
+    /// Plain Eq. 4: denominator over every `(prev, ·)` pair.
+    AnyNext,
+    /// Known-route variant: denominator over `(prev, target)` only.
+    PairToTarget,
+}
+
+/// Reusable buffers for one batched evaluation. Lives in a thread-local so
+/// the hot path — called on every admission test — does not allocate after
+/// warm-up (`members`/`probs` pool their inner buffers across calls too).
+#[derive(Default)]
+struct Scratch {
+    key_codes: Vec<u64>,
+    keys: Vec<(PrevKey, Conditioning)>,
+    members: Vec<Vec<(f64, u32)>>,
+    group_of: Vec<u32>,
+    slot_of: Vec<u32>,
+    exts: Vec<f64>,
+    uppers: Vec<f64>,
+    dens: Vec<f64>,
+    num_lo: Vec<f64>,
+    num_hi: Vec<f64>,
+    probs: Vec<Vec<f64>>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::default();
+}
+
+/// Computes `Σ_j b(C_i,j) · p_h(C_i,j → target)` (Eq. 5) for a whole cell
+/// population against `cache`, the cell's own estimation state, in one
+/// batched pass. `conns` must be the cell's connections in its (stable)
+/// iteration order; the result is bit-identical to summing
+/// [`crate::handoff_probability`] / [`crate::known_next_probability`] per
+/// connection in that order.
+pub fn batched_contribution(
+    cache: &mut HoeCache,
+    t_o: SimTime,
+    target: CellId,
+    t_est: Duration,
+    conns: &[ConnQuery],
+) -> f64 {
+    SCRATCH.with(|s| batched_with_scratch(&mut s.borrow_mut(), cache, t_o, target, t_est, conns))
+}
+
+fn batched_with_scratch(
+    scratch: &mut Scratch,
+    cache: &mut HoeCache,
+    t_o: SimTime,
+    target: CellId,
+    t_est: Duration,
+    conns: &[ConnQuery],
+) -> f64 {
+    debug_assert!(t_est.as_secs() >= 0.0, "T_est cannot be negative");
+    let Scratch {
+        key_codes,
+        keys,
+        members,
+        group_of,
+        slot_of,
+        exts,
+        uppers,
+        dens,
+        num_lo,
+        num_hi,
+        probs,
+    } = scratch;
+    // Group membership is tracked per connection (`SKIP` = contributes
+    // zero) and group keys live in a flat first-seen-order Vec: group
+    // counts are tiny, so a linear key scan beats map overhead on the
+    // per-connection passes.
+    const SKIP: u32 = u32::MAX;
+    // Keys double as packed integers so the per-connection scan compares
+    // one u64 instead of an (Option<CellId>, enum) tuple.
+    let pack = |prev: PrevKey, conditioning: Conditioning| -> u64 {
+        let prev_code = match prev {
+            None => 0u64,
+            Some(CellId(id)) => u64::from(id) + 1,
+        };
+        let cond_bit = match conditioning {
+            Conditioning::AnyNext => 0u64,
+            Conditioning::PairToTarget => 1u64,
+        };
+        (cond_bit << 33) | prev_code
+    };
+    key_codes.clear();
+    keys.clear();
+    group_of.clear();
+    group_of.reserve(conns.len());
+    let mut groups_used = 0usize;
+    for (j, c) in conns.iter().enumerate() {
+        debug_assert!(
+            c.extant_sojourn.as_secs() >= 0.0,
+            "extant sojourn cannot be negative"
+        );
+        let conditioning = match c.known_next {
+            Some(declared) if declared != target => {
+                group_of.push(SKIP);
+                continue;
+            }
+            Some(_) => Conditioning::PairToTarget,
+            None => Conditioning::AnyNext,
+        };
+        let code = pack(c.prev, conditioning);
+        let gi = key_codes
+            .iter()
+            .position(|&k| k == code)
+            .unwrap_or_else(|| {
+                key_codes.push(code);
+                keys.push((c.prev, conditioning));
+                if groups_used == members.len() {
+                    members.push(Vec::new());
+                }
+                members[groups_used].clear();
+                groups_used += 1;
+                groups_used - 1
+            });
+        // `+ 0.0` normalizes a hypothetical `-0.0` so the sojourn's IEEE
+        // bits are monotone in its value (it changes no other bit pattern
+        // and no downstream comparison).
+        members[gi].push((c.extant_sojourn.as_secs() + 0.0, j as u32));
+        group_of.push(gi as u32);
+    }
+    if groups_used == 0 {
+        return 0.0;
+    }
+
+    let pairs = cache.pairs_for_query(t_o);
+    let t_est = t_est.as_secs();
+    // `slot_of[j]` = index of connection `j`'s probability within its
+    // group's deduplicated-sojourn arrays, assigned while sorting — the
+    // read-out pass needs no searches.
+    slot_of.clear();
+    slot_of.resize(conns.len(), 0);
+    for (gi, &(prev, conditioning)) in keys.iter().enumerate() {
+        let members = &mut members[gi];
+        // Nonnegative floats sort by their raw bits.
+        members.sort_unstable_by_key(|&(ext, _)| ext.to_bits());
+        exts.clear();
+        for &(ext, j) in members.iter() {
+            if exts.last() != Some(&ext) {
+                exts.push(ext);
+            }
+            slot_of[j as usize] = (exts.len() - 1) as u32;
+        }
+        let n = exts.len();
+        uppers.clear();
+        uppers.extend(exts.iter().map(|e| e + t_est));
+        dens.clear();
+        dens.resize(n, 0.0);
+        num_lo.clear();
+        num_lo.resize(n, 0.0);
+        num_hi.clear();
+        num_hi.resize(n, 0.0);
+        let target_pair = pairs.get(&(prev, target));
+        match conditioning {
+            Conditioning::AnyNext => {
+                // Shared denominator: every (prev, ·) snapshot, swept once
+                // for the whole group, accumulated in range order (the same
+                // summation order as the one-at-a-time path).
+                for (_, snap) in pairs.range((prev, CellId(0))..=(prev, CellId(u32::MAX))) {
+                    snap.accumulate_weights_gt(exts, dens);
+                }
+            }
+            Conditioning::PairToTarget => {
+                if let Some(snap) = target_pair {
+                    snap.accumulate_weights_gt(exts, dens);
+                }
+            }
+        }
+        if let Some(snap) = target_pair {
+            snap.accumulate_weights_gt(exts, num_lo);
+            snap.accumulate_weights_gt(uppers, num_hi);
+        }
+        if gi == probs.len() {
+            probs.push(Vec::new());
+        }
+        let p = &mut probs[gi];
+        p.clear();
+        p.extend((0..n).map(|k| {
+            let den = dens[k];
+            if den <= 0.0 {
+                return 0.0; // estimated stationary
+            }
+            // weight_in(a, a + t_est), as the scalar path computes it.
+            let num = (num_lo[k] - num_hi[k]).max(0.0);
+            debug_assert!(
+                num <= den + 1e-9,
+                "numerator {num} exceeds denominator {den}"
+            );
+            (num / den).clamp(0.0, 1.0)
+        }));
+    }
+
+    // Weighted sum in the caller's connection order — the naive path's
+    // accumulation order, so the total is bit-identical.
+    let mut total = 0.0;
+    for (j, (c, &gi)) in conns.iter().zip(group_of.iter()).enumerate() {
+        if gi == SKIP {
+            continue;
+        }
+        total += c.bandwidth * probs[gi as usize][slot_of[j] as usize];
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::HoeConfig;
+    use crate::estimator::{handoff_probability, known_next_probability, HandoffQuery};
+    use crate::quadruplet::HandoffEvent;
+
+    fn s(x: f64) -> Duration {
+        Duration::from_secs(x)
+    }
+
+    fn trained_cache() -> HoeCache {
+        let mut c = HoeCache::new(HoeConfig::stationary());
+        let mut t = 0.0;
+        for (prev, next, soj) in [
+            (Some(1), 0, 20.0),
+            (Some(1), 0, 30.0),
+            (Some(1), 2, 40.0),
+            (Some(1), 2, 55.0),
+            (Some(3), 0, 25.0),
+            (None, 0, 15.0),
+            (None, 2, 45.0),
+        ] {
+            t += 1.0;
+            c.record(HandoffEvent::new(
+                SimTime::from_secs(t),
+                prev.map(CellId),
+                CellId(next),
+                s(soj),
+            ));
+        }
+        c
+    }
+
+    fn naive_total(
+        cache: &mut HoeCache,
+        t_o: SimTime,
+        target: CellId,
+        t_est: Duration,
+        conns: &[ConnQuery],
+    ) -> f64 {
+        let mut total = 0.0;
+        for c in conns {
+            let query = HandoffQuery {
+                now: t_o,
+                prev: c.prev,
+                extant_sojourn: c.extant_sojourn,
+                next: target,
+                t_est,
+            };
+            let p = match c.known_next {
+                Some(declared) if declared == target => known_next_probability(cache, query),
+                Some(_) => 0.0,
+                None => handoff_probability(cache, query),
+            };
+            total += c.bandwidth * p;
+        }
+        total
+    }
+
+    fn conn(prev: Option<u32>, known_next: Option<u32>, ext: f64, bw: f64) -> ConnQuery {
+        ConnQuery {
+            prev: prev.map(CellId),
+            known_next: known_next.map(CellId),
+            extant_sojourn: s(ext),
+            bandwidth: bw,
+        }
+    }
+
+    #[test]
+    fn empty_population_contributes_nothing() {
+        let mut c = trained_cache();
+        assert_eq!(
+            batched_contribution(&mut c, SimTime::from_secs(100.0), CellId(0), s(30.0), &[]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn matches_scalar_path_exactly() {
+        let now = SimTime::from_secs(100.0);
+        let conns = [
+            conn(Some(1), None, 10.0, 4.0),
+            conn(Some(1), None, 10.0, 1.0), // shares (prev, ext) with above
+            conn(Some(1), None, 35.0, 4.0),
+            conn(Some(3), None, 5.0, 1.0),
+            conn(Some(9), None, 5.0, 4.0), // unknown prev → stationary
+            conn(None, None, 12.0, 1.0),
+            conn(Some(1), Some(0), 10.0, 4.0), // declared toward target
+            conn(Some(1), Some(2), 10.0, 4.0), // declared elsewhere → 0
+            conn(Some(1), None, 60.0, 1.0),    // outlasts history → stationary
+        ];
+        for t_est in [0.0, 5.0, 17.0, 40.0, 200.0] {
+            let batched =
+                batched_contribution(&mut trained_cache(), now, CellId(0), s(t_est), &conns);
+            let naive = naive_total(&mut trained_cache(), now, CellId(0), s(t_est), &conns);
+            assert_eq!(batched, naive, "T_est = {t_est}");
+        }
+    }
+
+    #[test]
+    fn shared_sojourns_share_probability() {
+        // Two same-(prev, ext) connections with different bandwidths:
+        // contribution must scale linearly in bandwidth.
+        let now = SimTime::from_secs(100.0);
+        let one = batched_contribution(
+            &mut trained_cache(),
+            now,
+            CellId(0),
+            s(25.0),
+            &[conn(Some(1), None, 10.0, 1.0)],
+        );
+        let five = batched_contribution(
+            &mut trained_cache(),
+            now,
+            CellId(0),
+            s(25.0),
+            &[
+                conn(Some(1), None, 10.0, 4.0),
+                conn(Some(1), None, 10.0, 1.0),
+            ],
+        );
+        assert!((five - 5.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cache_is_all_stationary() {
+        let mut c = HoeCache::new(HoeConfig::stationary());
+        let total = batched_contribution(
+            &mut c,
+            SimTime::from_secs(10.0),
+            CellId(0),
+            s(100.0),
+            &[conn(Some(1), None, 0.0, 4.0), conn(None, None, 0.0, 1.0)],
+        );
+        assert_eq!(total, 0.0);
+    }
+}

@@ -27,7 +27,6 @@ use std::collections::{BTreeMap, VecDeque};
 
 use qres_cellnet::CellId;
 use qres_des::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::calendar::{Calendar, DayClass};
 use crate::quadruplet::HandoffEvent;
@@ -37,7 +36,7 @@ use crate::windows::WindowConfig;
 pub type PrevKey = Option<CellId>;
 
 /// Configuration of one cell's estimation-function cache.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HoeConfig {
     /// `N_quad` — the maximum number of quadruplets used per `(prev, next)`
     /// pair (paper: 100).
@@ -139,6 +138,26 @@ impl PairSnapshot {
         self.total_weight() - self.prefix[idx]
     }
 
+    /// Adds `weight_gt(thresholds[k])` into `out[k]` for every `k`, in one
+    /// merged sweep over the sorted sojourn array. `thresholds` must be
+    /// ascending; each answer is bit-identical to calling [`Self::weight_gt`]
+    /// per threshold, but the whole batch costs
+    /// `O(len + thresholds.len())` instead of
+    /// `O(thresholds.len() · log len)` — the core of the batched Eq.-4
+    /// evaluation.
+    pub fn accumulate_weights_gt(&self, thresholds: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(thresholds.len(), out.len());
+        debug_assert!(thresholds.windows(2).all(|w| w[0] <= w[1]));
+        let total = self.total_weight();
+        let mut idx = 0;
+        for (k, &a) in thresholds.iter().enumerate() {
+            while idx < self.sojourns.len() && self.sojourns[idx] <= a {
+                idx += 1;
+            }
+            out[k] += total - self.prefix[idx];
+        }
+    }
+
     /// Weight of quadruplets with `a < t_soj ≤ b`.
     pub fn weight_in(&self, a: f64, b: f64) -> f64 {
         debug_assert!(b >= a);
@@ -198,6 +217,9 @@ struct ClassStore {
     last_event_time: Option<SimTime>,
     snapshot: Snapshot,
     dirty: bool,
+    /// Bumped on every mutation (record, including its pruning) *and* on
+    /// every snapshot rebuild: any change to what a query could answer.
+    epoch: u64,
 }
 
 /// Bucket width for the finite-`T_int` store, in seconds.
@@ -254,6 +276,7 @@ impl ClassStore {
             }
         }
         self.dirty = true;
+        self.epoch += 1;
     }
 
     fn snapshot_fresh(&self, t_o: SimTime, window: &WindowConfig, refresh: Duration) -> bool {
@@ -333,6 +356,7 @@ impl ClassStore {
             max_sojourn,
         };
         self.dirty = false;
+        self.epoch += 1;
     }
 
     fn ensure_snapshot(
@@ -419,6 +443,31 @@ impl HoeCache {
         (store, window)
     }
 
+    /// A version counter that changes whenever a query's answer could:
+    /// on every recorded quadruplet (including the pruning it triggers) and
+    /// on every snapshot rebuild (finite-`T_int` membership drifts with
+    /// `t_o`). Two queries with equal `(t_o, arguments)` bracketing an
+    /// unchanged version return identical results — the invalidation key of
+    /// the epoch-memoized `B_r` computation upstream.
+    pub fn version(&self) -> u64 {
+        // Each mutation bumps exactly one class epoch, so the sum is
+        // strictly monotone over mutations.
+        self.weekday.epoch + self.weekend.epoch
+    }
+
+    /// The rebuilt, query-ready snapshot pairs at `t_o` — the batched
+    /// estimator's entry point (see [`crate::batch`]).
+    pub(crate) fn pairs_for_query(
+        &mut self,
+        t_o: SimTime,
+    ) -> &BTreeMap<(PrevKey, CellId), PairSnapshot> {
+        let n_quad = self.config.n_quad;
+        let refresh = self.config.snapshot_refresh;
+        let (store, window) = self.store_for_query(t_o);
+        store.ensure_snapshot(t_o, &window, n_quad, refresh);
+        &store.snapshot.pairs
+    }
+
     /// Denominator of Eq. 4: total selected weight, over **all** next
     /// cells, of quadruplets with matching `prev` and `t_soj > t_ext`.
     ///
@@ -490,11 +539,7 @@ impl HoeCache {
 
     /// The selected `(next, sojourns)` footprint for a given `prev` —
     /// the data behind the paper's Fig. 4.
-    pub fn footprint_pairs(
-        &mut self,
-        t_o: SimTime,
-        prev: PrevKey,
-    ) -> Vec<(CellId, Vec<f64>)> {
+    pub fn footprint_pairs(&mut self, t_o: SimTime, prev: PrevKey) -> Vec<(CellId, Vec<f64>)> {
         let n_quad = self.config.n_quad;
         let refresh = self.config.snapshot_refresh;
         let (store, window) = self.store_for_query(t_o);
@@ -653,7 +698,7 @@ mod tests {
     fn finite_window_snapshot_refreshes_as_time_drifts() {
         let mut c = HoeCache::new(HoeConfig::paper_time_varying());
         c.record(ev(10.0 * 3600.0, Some(1), 2, 30.0)); // 10:00
-        // At 10:30 the event is in the n=0 window.
+                                                       // At 10:30 the event is in the n=0 window.
         assert_eq!(
             c.weight_prev_gt(SimTime::from_hours(10.5), Some(CellId(1)), s(0.0)),
             1.0

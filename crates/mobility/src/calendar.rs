@@ -8,10 +8,9 @@
 //! into per-class sets.
 
 use qres_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// The traffic-pattern class of a day.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DayClass {
     /// A regular weekday (daily periodic pattern, `T_day`).
     Weekday,
@@ -24,7 +23,7 @@ pub enum DayClass {
 /// Simulation day 0 is a configurable weekday index (0 = Monday); days with
 /// index 5 or 6 within each week are weekends, and an explicit holiday list
 /// can override individual days.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Calendar {
     /// Weekday index of simulation day 0 (0 = Monday … 6 = Sunday).
     start_weekday: u8,

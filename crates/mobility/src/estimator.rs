@@ -72,8 +72,7 @@ pub fn handoff_probability(cache: &mut HoeCache, query: HandoffQuery) -> f64 {
 /// the hand-off time is estimated:
 /// `P(T_soj ≤ T_ext + T_est | T_soj > T_ext, next)`.
 pub fn known_next_probability(cache: &mut HoeCache, query: HandoffQuery) -> f64 {
-    let denominator =
-        cache.weight_pair_gt(query.now, query.prev, query.next, query.extant_sojourn);
+    let denominator = cache.weight_pair_gt(query.now, query.prev, query.next, query.extant_sojourn);
     if denominator <= 0.0 {
         return 0.0;
     }
@@ -142,9 +141,7 @@ mod tests {
         // Toward cell 4 within 45 s: none.
         assert_eq!(handoff_probability(&mut c, q(Some(1), 0.0, 4, 45.0)), 0.0);
         // Window covering everything: 2/6 toward cell 4.
-        assert!(
-            (handoff_probability(&mut c, q(Some(1), 0.0, 4, 100.0)) - 2.0 / 6.0).abs() < 1e-12
-        );
+        assert!((handoff_probability(&mut c, q(Some(1), 0.0, 4, 100.0)) - 2.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]
@@ -152,20 +149,19 @@ mod tests {
         let mut c = trained_cache();
         // T_ext = 45: surviving histories are 50, 60, 80 (3 of them).
         // Toward cell 2 within (45, 55]: just the 50 → 1/3.
-        assert!(
-            (handoff_probability(&mut c, q(Some(1), 45.0, 2, 10.0)) - 1.0 / 3.0).abs() < 1e-12
-        );
+        assert!((handoff_probability(&mut c, q(Some(1), 45.0, 2, 10.0)) - 1.0 / 3.0).abs() < 1e-12);
         // Toward cell 4 within (45, 65]: the 60 → 1/3.
-        assert!(
-            (handoff_probability(&mut c, q(Some(1), 45.0, 4, 20.0)) - 1.0 / 3.0).abs() < 1e-12
-        );
+        assert!((handoff_probability(&mut c, q(Some(1), 45.0, 4, 20.0)) - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn stationary_when_no_history_survives() {
         let mut c = trained_cache();
         // T_ext = 90 exceeds every cached sojourn → stationary → 0.
-        assert_eq!(handoff_probability(&mut c, q(Some(1), 90.0, 2, 1000.0)), 0.0);
+        assert_eq!(
+            handoff_probability(&mut c, q(Some(1), 90.0, 2, 1000.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -202,9 +198,15 @@ mod tests {
         let mut c = trained_cache();
         // Known route to cell 4, T_ext = 0, T_est = 65: sojourn 60 of the
         // two pair-(1,4) histories → 0.5 (vs 1/6 unconditioned).
-        assert_eq!(known_next_probability(&mut c, q(Some(1), 0.0, 4, 65.0)), 0.5);
+        assert_eq!(
+            known_next_probability(&mut c, q(Some(1), 0.0, 4, 65.0)),
+            0.5
+        );
         // Unknown pair → 0.
-        assert_eq!(known_next_probability(&mut c, q(Some(1), 0.0, 9, 65.0)), 0.0);
+        assert_eq!(
+            known_next_probability(&mut c, q(Some(1), 0.0, 9, 65.0)),
+            0.0
+        );
     }
 
     #[test]

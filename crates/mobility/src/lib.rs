@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod cache;
 pub mod calendar;
 pub mod estimator;
@@ -40,6 +41,7 @@ pub mod footprint;
 pub mod quadruplet;
 pub mod windows;
 
+pub use batch::{batched_contribution, ConnQuery};
 pub use cache::{HoeCache, HoeConfig};
 pub use calendar::{Calendar, DayClass};
 pub use estimator::{handoff_probability, known_next_probability, HandoffQuery};

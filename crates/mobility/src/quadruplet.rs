@@ -1,8 +1,7 @@
 //! The hand-off event quadruplet.
 
-use qres_des::{Duration, SimTime};
 use qres_cellnet::CellId;
-use serde::{Deserialize, Serialize};
+use qres_des::{Duration, SimTime};
 
 /// One observed hand-off out of a cell: the paper's quadruplet
 /// `(T_event, prev, next, T_soj)` (Section 3.1).
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// enters the next cell), and a connection that ends naturally inside the
 /// cell is not a hand-off. That asymmetry is what lets the estimator's
 /// zero-denominator case classify long-staying mobiles as stationary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HandoffEvent {
     /// `T_event` — when the mobile departed the current cell.
     pub t_event: SimTime,
@@ -28,12 +27,7 @@ pub struct HandoffEvent {
 
 impl HandoffEvent {
     /// Convenience constructor validating the sojourn time.
-    pub fn new(
-        t_event: SimTime,
-        prev: Option<CellId>,
-        next: CellId,
-        t_soj: Duration,
-    ) -> Self {
+    pub fn new(t_event: SimTime, prev: Option<CellId>, next: CellId, t_soj: Duration) -> Self {
         assert!(
             t_soj.as_secs() >= 0.0,
             "sojourn time cannot be negative (got {t_soj})"

@@ -14,7 +14,6 @@
 //! stationary-scenario setting) makes every past event an `n = 0` member.
 
 use qres_des::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A quadruplet's window membership: which window it falls in and its weight.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,7 +29,7 @@ pub struct WindowMembership {
 }
 
 /// Configuration of the periodic window structure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowConfig {
     /// The estimation interval `T_int` (half-width of each window).
     /// [`Duration::INFINITE`] reproduces the stationary-case setting.
@@ -195,7 +194,7 @@ mod tests {
     fn yesterday_window_matches_eq2_n1() {
         let w = WindowConfig::paper_time_varying();
         let now = hours(36.0); // day 1, 12:00
-        // Yesterday 11:30 (t = 11.5 h): inside [now - 1h - 24h, now + 1h - 24h).
+                               // Yesterday 11:30 (t = 11.5 h): inside [now - 1h - 24h, now + 1h - 24h).
         let m = w.membership(now, hours(11.5)).unwrap();
         assert_eq!(m.n, 1);
         assert_eq!(m.weight, 1.0);

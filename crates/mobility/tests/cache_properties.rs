@@ -1,19 +1,38 @@
-//! Property-based tests of the HOE cache against a naive reference: the
-//! indexed snapshot must answer exactly like a direct scan of Eq. 2 / Eq. 3
-//! over the same quadruplets.
+//! Randomized tests of the HOE cache against a naive reference: the indexed
+//! snapshot must answer exactly like a direct scan of Eq. 2 / Eq. 3 over the
+//! same quadruplets. (Seeded-RNG loops stand in for proptest, which is
+//! unavailable offline.)
 
-use proptest::prelude::*;
 use qres_cellnet::CellId;
-use qres_des::{Duration, SimTime};
+use qres_des::{Duration, SimTime, StreamRng};
 use qres_mobility::{HandoffEvent, HoeCache, HoeConfig, WindowConfig};
 
 type RawEvent = (f64, Option<u32>, u32, f64); // (gap, prev, next, sojourn)
 
-fn events_strategy() -> impl Strategy<Value = Vec<RawEvent>> {
-    prop::collection::vec(
-        (0.0f64..500.0, prop::option::of(0u32..4), 0u32..4, 0.1f64..300.0),
-        1..80,
-    )
+fn random_events(rng: &mut StreamRng) -> Vec<RawEvent> {
+    let len = rng.gen_range(1usize..80);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range_f64(0.0, 500.0),
+                if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(0u32..4))
+                } else {
+                    None
+                },
+                rng.gen_range(0u32..4),
+                rng.gen_range_f64(0.1, 300.0),
+            )
+        })
+        .collect()
+}
+
+fn random_prev(rng: &mut StreamRng) -> Option<u32> {
+    if rng.gen_bool(0.5) {
+        Some(rng.gen_range(0u32..4))
+    } else {
+        None
+    }
 }
 
 fn materialize(raw: &[RawEvent]) -> Vec<HandoffEvent> {
@@ -57,16 +76,12 @@ fn naive_weights(
     (num, den)
 }
 
-proptest! {
-    /// With N_quad large, the indexed snapshot equals the naive scan.
-    #[test]
-    fn snapshot_matches_naive_scan(
-        raw in events_strategy(),
-        prev in prop::option::of(0u32..4),
-        next in 0u32..4,
-        ext in 0.0f64..200.0,
-        t_est in 0.0f64..200.0,
-    ) {
+/// With N_quad large, the indexed snapshot equals the naive scan.
+#[test]
+fn snapshot_matches_naive_scan() {
+    let mut rng = StreamRng::seed_from_u64(0xCAC4_0001);
+    for _ in 0..300 {
+        let raw = random_events(&mut rng);
         let events = materialize(&raw);
         let mut config = HoeConfig::stationary();
         config.n_quad = 10_000;
@@ -75,31 +90,40 @@ proptest! {
             cache.record(*e);
         }
         let now = SimTime::from_secs(events.last().unwrap().t_event.as_secs() + 1.0);
-        let prev = prev.map(CellId);
-        let (num, den) = naive_weights(&events, prev, CellId(next), ext, t_est);
+        let prev = random_prev(&mut rng).map(CellId);
+        let next = CellId(rng.gen_range(0u32..4));
+        let ext = rng.gen_range_f64(0.0, 200.0);
+        let t_est = rng.gen_range_f64(0.0, 200.0);
+        let (num, den) = naive_weights(&events, prev, next, ext, t_est);
         let got_den = cache.weight_prev_gt(now, prev, Duration::from_secs(ext));
         let got_num = cache.weight_pair_in(
             now,
             prev,
-            CellId(next),
+            next,
             Duration::from_secs(ext),
             Duration::from_secs(t_est),
         );
-        prop_assert!((got_den - den).abs() < 1e-9, "den: got {got_den}, want {den}");
-        prop_assert!((got_num - num).abs() < 1e-9, "num: got {got_num}, want {num}");
+        assert!(
+            (got_den - den).abs() < 1e-9,
+            "den: got {got_den}, want {den}"
+        );
+        assert!(
+            (got_num - num).abs() < 1e-9,
+            "num: got {got_num}, want {num}"
+        );
     }
+}
 
-    /// With a small N_quad in infinite-window mode, only the most recent
-    /// N_quad per (prev, next) pair are selected — equal to the naive scan
-    /// over each pair's last N_quad events.
-    #[test]
-    fn n_quad_selects_most_recent(
-        raw in events_strategy(),
-        n_quad in 1usize..10,
-        prev in prop::option::of(0u32..4),
-        ext in 0.0f64..200.0,
-    ) {
+/// With a small N_quad in infinite-window mode, only the most recent N_quad
+/// per (prev, next) pair are selected — equal to the naive scan over each
+/// pair's last N_quad events.
+#[test]
+fn n_quad_selects_most_recent() {
+    let mut rng = StreamRng::seed_from_u64(0xCAC4_0002);
+    for _ in 0..300 {
+        let raw = random_events(&mut rng);
         let events = materialize(&raw);
+        let n_quad = rng.gen_range(1usize..10);
         let mut config = HoeConfig::stationary();
         config.n_quad = n_quad;
         let mut cache = HoeCache::new(config);
@@ -107,7 +131,8 @@ proptest! {
             cache.record(*e);
         }
         let now = SimTime::from_secs(events.last().unwrap().t_event.as_secs() + 1.0);
-        let prev = prev.map(CellId);
+        let prev = random_prev(&mut rng).map(CellId);
+        let ext = rng.gen_range_f64(0.0, 200.0);
         // Reference: last n_quad events per (prev, next) pair.
         let mut expected = 0.0;
         for next in 0..4u32 {
@@ -123,19 +148,26 @@ proptest! {
             }
         }
         let got = cache.weight_prev_gt(now, prev, Duration::from_secs(ext));
-        prop_assert!((got - expected).abs() < 1e-9, "got {got}, want {expected}");
+        assert!((got - expected).abs() < 1e-9, "got {got}, want {expected}");
     }
+}
 
-    /// Finite-window membership: the cache's selection agrees with a naive
-    /// Eq. 2 scan when every bucket is under-full (no per-bucket capping).
-    #[test]
-    fn finite_window_matches_naive_membership(
-        raw in prop::collection::vec(
-            (600.0f64..2_000.0, 0.1f64..300.0),
-            1..40,
-        ),
-        query_hour in 0.0f64..50.0,
-    ) {
+/// Finite-window membership: the cache's selection agrees with a naive
+/// Eq. 2 scan when every bucket is under-full (no per-bucket capping).
+#[test]
+fn finite_window_matches_naive_membership() {
+    let mut rng = StreamRng::seed_from_u64(0xCAC4_0003);
+    for _ in 0..300 {
+        let n = rng.gen_range(1usize..40);
+        let raw: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range_f64(600.0, 2_000.0),
+                    rng.gen_range_f64(0.1, 300.0),
+                )
+            })
+            .collect();
+        let query_hour = rng.gen_range_f64(0.0, 50.0);
         let window = WindowConfig::paper_time_varying();
         let mut config = HoeConfig::paper_time_varying();
         config.n_quad = 10_000;
@@ -159,12 +191,16 @@ proptest! {
             .filter_map(|e| window.membership(now, e.t_event).map(|m| m.weight))
             .sum();
         let got = cache.weight_prev_gt(now, Some(CellId(1)), Duration::ZERO);
-        prop_assert!((got - expected).abs() < 1e-9, "got {got}, want {expected}");
+        assert!((got - expected).abs() < 1e-9, "got {got}, want {expected}");
     }
+}
 
-    /// max_sojourn equals the maximum over the selected quadruplets.
-    #[test]
-    fn max_sojourn_matches(raw in events_strategy()) {
+/// max_sojourn equals the maximum over the selected quadruplets.
+#[test]
+fn max_sojourn_matches() {
+    let mut rng = StreamRng::seed_from_u64(0xCAC4_0004);
+    for _ in 0..300 {
+        let raw = random_events(&mut rng);
         let events = materialize(&raw);
         let mut config = HoeConfig::stationary();
         config.n_quad = 10_000;
@@ -178,6 +214,6 @@ proptest! {
             .map(|e| e.t_soj.as_secs())
             .fold(f64::NEG_INFINITY, f64::max);
         let got = cache.max_sojourn(now).unwrap().as_secs();
-        prop_assert!((got - expected).abs() < 1e-12);
+        assert!((got - expected).abs() < 1e-12);
     }
 }

@@ -70,10 +70,7 @@ struct MobileState {
 #[derive(Debug, Clone, Copy)]
 enum Mobility {
     Road(RoadGeometry),
-    Hex {
-        grid: HexGrid,
-        diameter_km: f64,
-    },
+    Hex { grid: HexGrid, diameter_km: f64 },
 }
 
 impl Mobility {
@@ -228,7 +225,10 @@ impl Engine {
         let mut driver = Driver { engine: self };
         sim.run_until(horizon, u64::MAX, &mut driver);
         debug_assert!(self.system.check_invariants());
-        debug_assert!(self.wired.as_ref().is_none_or(WiredNetwork::check_invariants));
+        debug_assert!(self
+            .wired
+            .as_ref()
+            .is_none_or(WiredNetwork::check_invariants));
         self.finalize(horizon, sim.dispatched())
     }
 
@@ -247,7 +247,9 @@ impl Engine {
         let final_t_est: Vec<u64> = (0..n)
             .map(|i| self.system.t_est(CellId(i as u32)).as_secs() as u64)
             .collect();
-        let final_br: Vec<f64> = (0..n).map(|i| self.system.last_br(CellId(i as u32))).collect();
+        let final_br: Vec<f64> = (0..n)
+            .map(|i| self.system.last_br(CellId(i as u32)))
+            .collect();
         let final_bu: Vec<u32> = (0..n)
             .map(|i| self.system.cell(CellId(i as u32)).used().as_bus())
             .collect();
@@ -425,10 +427,7 @@ impl Engine {
                 // Section 7 wired extension: a hand-off also needs a
                 // re-routable wired path; an infeasible backbone drops it
                 // even when the radio link has room.
-                let wired_veto = self
-                    .wired
-                    .as_ref()
-                    .is_some_and(|w| !w.can_reroute(id, to));
+                let wired_veto = self.wired.as_ref().is_some_and(|w| !w.can_reroute(id, to));
                 let outcome = self
                     .system
                     .attempt_handoff_constrained(now, id, from, to, known_next, wired_veto);
@@ -474,8 +473,11 @@ impl Engine {
             return;
         };
         self.system.end_connection(now, id, state.cell);
-        self.metrics
-            .update_bu(now, state.cell, self.system.cell(state.cell).used().as_bus());
+        self.metrics.update_bu(
+            now,
+            state.cell,
+            self.system.cell(state.cell).used().as_bus(),
+        );
         if let Some(h) = state.handoff_handle {
             queue.cancel(h);
         }

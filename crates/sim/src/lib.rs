@@ -20,13 +20,16 @@
 //! * [`report`] — the text tables and CSV series the experiment binaries
 //!   print;
 //! * [`runner`] — one-call execution ([`run_scenario`]) and parameter
-//!   sweeps.
+//!   sweeps;
+//! * [`parallel`] — the ordered thread-pool map the sweeps fan out on
+//!   (per-point results stay bit-identical to sequential execution).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
 pub mod metrics;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -35,6 +38,7 @@ pub mod workload;
 
 pub use engine::Engine;
 pub use metrics::{CellSummary, Metrics, RunResult};
-pub use runner::{run_scenario, sweep_offered_load};
+pub use parallel::par_map;
+pub use runner::{run_scenario, sweep_offered_load, sweep_offered_load_sequential};
 pub use scenario::{DirectionMode, Scenario, SchemeKind, WiredConfig};
 pub use timevarying::{DiurnalSchedule, RetryPolicy, TimeVaryingConfig};

@@ -19,7 +19,6 @@ use std::collections::BTreeMap;
 use qres_cellnet::{CellId, MessageStats};
 use qres_des::SimTime;
 use qres_stats::{HourlyBuckets, RatioCounter, TimeSeries, TimeWeighted};
-use serde::{Deserialize, Serialize};
 
 /// Per-cell accumulators.
 #[derive(Debug, Clone)]
@@ -31,7 +30,7 @@ struct CellMetrics {
 }
 
 /// Traces for one observed cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CellTraces {
     /// `T_est` over time (changes at hand-off observations).
     pub t_est: TimeSeries,
@@ -55,7 +54,12 @@ pub struct Metrics {
 impl Metrics {
     /// Creates metrics for `num_cells` cells covering `total_hours` of
     /// hourly buckets, tracing the given cells.
-    pub fn new(num_cells: usize, start: SimTime, total_hours: usize, trace_cells: &[CellId]) -> Self {
+    pub fn new(
+        num_cells: usize,
+        start: SimTime,
+        total_hours: usize,
+        trace_cells: &[CellId],
+    ) -> Self {
         let traces = trace_cells
             .iter()
             .map(|&c| {
@@ -203,7 +207,7 @@ impl Metrics {
 }
 
 /// End-of-run status of one cell (a Table 2 row).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CellSummary {
     /// The cell.
     pub cell: CellId,
@@ -232,7 +236,7 @@ pub struct CellSummary {
 }
 
 /// The complete outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Human-readable scheme/scenario label.
     pub label: String,
@@ -305,6 +309,36 @@ fn average(values: impl Iterator<Item = f64>) -> f64 {
         sum / n as f64
     }
 }
+
+qres_json::json_struct!(CellTraces { t_est, b_r, p_hd });
+qres_json::json_struct!(CellSummary {
+    cell,
+    requests,
+    blocked,
+    handoffs,
+    drops,
+    p_cb,
+    p_hd,
+    t_est_secs,
+    b_r_final,
+    b_u_final,
+    b_r_avg,
+    b_u_avg
+});
+qres_json::json_struct!(RunResult {
+    label,
+    duration_secs,
+    cells,
+    system_cb,
+    system_hd,
+    n_calc_mean,
+    signaling,
+    events_dispatched,
+    hourly_cb,
+    hourly_hd,
+    hourly_requests,
+    traces
+});
 
 #[cfg(test)]
 mod tests {

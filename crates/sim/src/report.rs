@@ -177,10 +177,7 @@ mod tests {
 
     #[test]
     fn series_table_render_and_csv() {
-        let mut t = SeriesTable::new(
-            "load",
-            vec!["P_CB:AC1".into(), "P_HD:AC1".into()],
-        );
+        let mut t = SeriesTable::new("load", vec!["P_CB:AC1".into(), "P_HD:AC1".into()]);
         t.push_row(60.0, vec![Some(0.01), Some(0.001)]);
         t.push_row(120.0, vec![Some(0.2), None]);
         let text = t.render();

@@ -2,6 +2,7 @@
 
 use crate::engine::Engine;
 use crate::metrics::RunResult;
+use crate::parallel::par_map;
 use crate::scenario::Scenario;
 
 /// Runs a scenario to completion.
@@ -22,25 +23,36 @@ pub struct SweepPoint {
 /// 13), keeping every other knob fixed. Each point uses a seed derived
 /// from the base seed and the load so points are independent but
 /// reproducible.
+///
+/// Points run in parallel across available cores ([`par_map`]); because
+/// every point owns an independent RNG stream derived from its load, the
+/// per-point results are bit-identical to
+/// [`sweep_offered_load_sequential`].
 pub fn sweep_offered_load(base: &Scenario, loads: &[f64]) -> Vec<SweepPoint> {
-    loads
-        .iter()
-        .map(|&load| {
-            let scenario = base
-                .clone()
-                .offered_load(load)
-                .seed(base.seed.wrapping_add((load * 1_000.0) as u64));
-            SweepPoint {
-                offered_load: load,
-                result: run_scenario(&scenario),
-            }
-        })
-        .collect()
+    par_map(loads, |&load| sweep_point(base, load))
+}
+
+/// The single-threaded reference implementation of [`sweep_offered_load`].
+pub fn sweep_offered_load_sequential(base: &Scenario, loads: &[f64]) -> Vec<SweepPoint> {
+    loads.iter().map(|&load| sweep_point(base, load)).collect()
+}
+
+fn sweep_point(base: &Scenario, load: f64) -> SweepPoint {
+    let scenario = base
+        .clone()
+        .offered_load(load)
+        .seed(base.seed.wrapping_add((load * 1_000.0) as u64));
+    SweepPoint {
+        offered_load: load,
+        result: run_scenario(&scenario),
+    }
 }
 
 /// The paper's offered-load grid (60 to 300).
 pub fn paper_load_grid() -> Vec<f64> {
-    vec![60.0, 80.0, 100.0, 120.0, 150.0, 180.0, 210.0, 240.0, 270.0, 300.0]
+    vec![
+        60.0, 80.0, 100.0, 120.0, 150.0, 180.0, 210.0, 240.0, 270.0, 300.0,
+    ]
 }
 
 #[cfg(test)]
@@ -67,6 +79,36 @@ mod tests {
         assert_eq!(*grid.first().unwrap(), 60.0);
         assert_eq!(*grid.last().unwrap(), 300.0);
         assert!(grid.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// The parallel sweep is an optimization, not a semantic change: every
+    /// point matches the sequential reference bit for bit.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let base = Scenario::paper_baseline()
+            .scheme(SchemeKind::Ac3)
+            .duration_secs(150.0)
+            .seed(42);
+        let loads = [60.0, 120.0, 210.0, 300.0];
+        let par = sweep_offered_load(&base, &loads);
+        let seq = sweep_offered_load_sequential(&base, &loads);
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.offered_load, s.offered_load);
+            assert_eq!(p.result.system_cb.trials(), s.result.system_cb.trials());
+            assert_eq!(p.result.system_cb.hits(), s.result.system_cb.hits());
+            assert_eq!(p.result.system_hd.trials(), s.result.system_hd.trials());
+            assert_eq!(p.result.system_hd.hits(), s.result.system_hd.hits());
+            assert_eq!(p.result.n_calc_mean, s.result.n_calc_mean);
+            assert_eq!(p.result.events_dispatched, s.result.events_dispatched);
+            assert_eq!(p.result.avg_br(), s.result.avg_br());
+            assert_eq!(p.result.avg_bu(), s.result.avg_bu());
+            for (pc, sc) in p.result.cells.iter().zip(&s.result.cells) {
+                assert_eq!(pc.b_r_final, sc.b_r_final);
+                assert_eq!(pc.b_u_final, sc.b_u_final);
+                assert_eq!(pc.t_est_secs, sc.t_est_secs);
+            }
+        }
     }
 
     #[test]

@@ -9,12 +9,11 @@
 
 use qres_cellnet::{Bandwidth, BsNetworkKind, CellId, MediaClass, WiredNetwork};
 use qres_core::{AcKind, NsParams, QresConfig, SchemeConfig};
-use serde::{Deserialize, Serialize};
 
 use crate::timevarying::TimeVaryingConfig;
 
 /// The admission/reservation scheme of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SchemeKind {
     /// Static guard-channel reservation with `G` BUs.
     Static {
@@ -72,7 +71,7 @@ impl SchemeKind {
 /// admission requires wired feasibility, and hand-offs re-route with the
 /// crossover optimization — a failed re-route drops the hand-off even if
 /// the radio link had room.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WiredConfig {
     /// Star backbone (Fig. 1a): all BSs under one MSC.
     Star {
@@ -119,7 +118,7 @@ impl WiredConfig {
 }
 
 /// How mobiles pick their travel direction (assumption A4 vs. Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirectionMode {
     /// Either direction with equal probability (A4).
     Random,
@@ -129,7 +128,7 @@ pub enum DirectionMode {
 }
 
 /// Full configuration of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// Number of cells (paper: 10).
     pub num_cells: usize,
@@ -341,14 +340,20 @@ impl Scenario {
             );
             assert!(rows >= 2 && cols >= 2, "hex grid needs at least 2x2");
         }
-        assert!(self.cell_diameter_km > 0.0, "cell diameter must be positive");
+        assert!(
+            self.cell_diameter_km > 0.0,
+            "cell diameter must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&self.voice_ratio),
             "voice ratio must be in [0,1]"
         );
         assert!(self.offered_load > 0.0, "offered load must be positive");
         let (lo, hi) = self.speed_range_kmh;
-        assert!(lo > 0.0 && hi >= lo, "speed range must be positive, lo <= hi");
+        assert!(
+            lo > 0.0 && hi >= lo,
+            "speed range must be positive, lo <= hi"
+        );
         assert!(self.mean_lifetime_secs > 0.0, "lifetime must be positive");
         assert!(
             (0.0..=1.0).contains(&self.turn_probability),
@@ -373,6 +378,153 @@ impl Scenario {
         self.trace_cells.iter().map(|&c| CellId(c)).collect()
     }
 }
+
+qres_json::json_unit_enum!(DirectionMode { Random, AllUp });
+
+impl qres_json::ToJson for SchemeKind {
+    fn to_json(&self) -> qres_json::Value {
+        use qres_json::Value;
+        match *self {
+            SchemeKind::Ac1 => Value::Str("Ac1".into()),
+            SchemeKind::Ac2 => Value::Str("Ac2".into()),
+            SchemeKind::Ac3 => Value::Str("Ac3".into()),
+            SchemeKind::Static { guard_bus } => Value::Object(vec![(
+                "Static".into(),
+                Value::Object(vec![("guard_bus".into(), guard_bus.to_json())]),
+            )]),
+            SchemeKind::Ns {
+                window_secs,
+                mean_sojourn_secs,
+            } => Value::Object(vec![(
+                "Ns".into(),
+                Value::Object(vec![
+                    ("window_secs".into(), window_secs.to_json()),
+                    ("mean_sojourn_secs".into(), mean_sojourn_secs.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl qres_json::FromJson for SchemeKind {
+    fn from_json(v: &qres_json::Value) -> Result<Self, qres_json::JsonError> {
+        use qres_json::{FromJson, JsonError, Value};
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "Ac1" => Ok(SchemeKind::Ac1),
+                "Ac2" => Ok(SchemeKind::Ac2),
+                "Ac3" => Ok(SchemeKind::Ac3),
+                other => Err(JsonError(format!("unknown SchemeKind variant `{other}`"))),
+            },
+            Value::Object(fields) if fields.len() == 1 => {
+                let (tag, body) = &fields[0];
+                match tag.as_str() {
+                    "Static" => Ok(SchemeKind::Static {
+                        guard_bus: FromJson::from_json(
+                            body.get("guard_bus")
+                                .ok_or_else(|| JsonError::missing_field("guard_bus"))?,
+                        )?,
+                    }),
+                    "Ns" => Ok(SchemeKind::Ns {
+                        window_secs: FromJson::from_json(
+                            body.get("window_secs")
+                                .ok_or_else(|| JsonError::missing_field("window_secs"))?,
+                        )?,
+                        mean_sojourn_secs: FromJson::from_json(
+                            body.get("mean_sojourn_secs")
+                                .ok_or_else(|| JsonError::missing_field("mean_sojourn_secs"))?,
+                        )?,
+                    }),
+                    other => Err(JsonError(format!("unknown SchemeKind variant `{other}`"))),
+                }
+            }
+            other => Err(JsonError::expected("SchemeKind variant", other)),
+        }
+    }
+}
+
+impl qres_json::ToJson for WiredConfig {
+    fn to_json(&self) -> qres_json::Value {
+        use qres_json::Value;
+        match *self {
+            WiredConfig::Star {
+                access_bus,
+                trunk_bus,
+            } => Value::Object(vec![(
+                "Star".into(),
+                Value::Object(vec![
+                    ("access_bus".into(), access_bus.to_json()),
+                    ("trunk_bus".into(), trunk_bus.to_json()),
+                ]),
+            )]),
+            WiredConfig::Tree {
+                branching,
+                access_bus,
+                trunk_bus,
+            } => Value::Object(vec![(
+                "Tree".into(),
+                Value::Object(vec![
+                    ("branching".into(), branching.to_json()),
+                    ("access_bus".into(), access_bus.to_json()),
+                    ("trunk_bus".into(), trunk_bus.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl qres_json::FromJson for WiredConfig {
+    fn from_json(v: &qres_json::Value) -> Result<Self, qres_json::JsonError> {
+        use qres_json::{FromJson, JsonError, Value};
+        let field = |body: &Value, name: &str| -> Result<Value, JsonError> {
+            body.get(name)
+                .cloned()
+                .ok_or_else(|| JsonError::missing_field(name))
+        };
+        match v {
+            Value::Object(fields) if fields.len() == 1 => {
+                let (tag, body) = &fields[0];
+                match tag.as_str() {
+                    "Star" => Ok(WiredConfig::Star {
+                        access_bus: FromJson::from_json(&field(body, "access_bus")?)?,
+                        trunk_bus: FromJson::from_json(&field(body, "trunk_bus")?)?,
+                    }),
+                    "Tree" => Ok(WiredConfig::Tree {
+                        branching: FromJson::from_json(&field(body, "branching")?)?,
+                        access_bus: FromJson::from_json(&field(body, "access_bus")?)?,
+                        trunk_bus: FromJson::from_json(&field(body, "trunk_bus")?)?,
+                    }),
+                    other => Err(JsonError(format!("unknown WiredConfig variant `{other}`"))),
+                }
+            }
+            other => Err(JsonError::expected("WiredConfig variant", other)),
+        }
+    }
+}
+
+qres_json::json_struct!(Scenario {
+    num_cells,
+    cell_diameter_km,
+    ring,
+    hex_grid,
+    capacity_bus,
+    scheme,
+    voice_ratio,
+    offered_load,
+    speed_range_kmh,
+    mean_lifetime_secs,
+    direction,
+    turn_probability,
+    route_aware,
+    p_hd_target,
+    duration_secs,
+    warmup_secs,
+    seed,
+    backbone,
+    wired,
+    time_varying,
+    trace_cells
+});
 
 #[cfg(test)]
 mod tests {
@@ -438,7 +590,10 @@ mod tests {
         assert!(s.qres_config().hoe.weekday_window.t_int.is_infinite());
         let tv = Scenario::paper_baseline().time_varying(TimeVaryingConfig::paper_like());
         assert!((tv.qres_config().hoe.weekday_window.t_int.as_hours() - 1.0).abs() < 1e-12);
-        assert_eq!(tv.duration_secs, tv.time_varying.as_ref().unwrap().total_secs());
+        assert_eq!(
+            tv.duration_secs,
+            tv.time_varying.as_ref().unwrap().total_secs()
+        );
     }
 
     #[test]

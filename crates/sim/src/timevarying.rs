@@ -16,10 +16,8 @@
 //! the original `L_o`, the positive-feedback effect that amplifies the
 //! `P_CB` differences between schemes.
 
-use serde::{Deserialize, Serialize};
-
 /// One hour's workload parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HourEntry {
     /// Original offered load `L_o` for this hour (Eq. 7 units).
     pub offered_load: f64,
@@ -28,7 +26,7 @@ pub struct HourEntry {
 }
 
 /// A 24-hour cyclic schedule of `(L_o, S)` pairs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiurnalSchedule {
     hours: Vec<HourEntry>,
 }
@@ -49,15 +47,15 @@ impl DiurnalSchedule {
         let mut hours = Vec::with_capacity(24);
         for h in 0..24 {
             let (load, speed) = match h {
-                0..=5 => (20.0, 110.0),   // night
-                6 => (40.0, 100.0),       // early morning
-                7 => (80.0, 90.0),        // morning shoulder
-                8 => (140.0, 70.0),       // building rush
-                9 => (180.0, 40.0),       // morning peak
-                10 => (120.0, 70.0),      // decaying
+                0..=5 => (20.0, 110.0), // night
+                6 => (40.0, 100.0),     // early morning
+                7 => (80.0, 90.0),      // morning shoulder
+                8 => (140.0, 70.0),     // building rush
+                9 => (180.0, 40.0),     // morning peak
+                10 => (120.0, 70.0),    // decaying
                 11 => (80.0, 90.0),
-                12 => (100.0, 80.0),      // lunch build-up
-                13 => (140.0, 60.0),      // lunch peak
+                12 => (100.0, 80.0), // lunch build-up
+                13 => (140.0, 60.0), // lunch peak
                 14 => (100.0, 80.0),
                 15 => (80.0, 90.0),
                 16 => (120.0, 70.0),      // evening shoulder
@@ -107,7 +105,7 @@ impl DiurnalSchedule {
 }
 
 /// The blocked-request retry model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Wait before re-requesting (paper: 5 s).
     pub wait_secs: f64,
@@ -133,7 +131,7 @@ impl RetryPolicy {
 }
 
 /// The full time-varying experiment configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeVaryingConfig {
     /// The daily schedule (cycled every 24 h).
     pub schedule: DiurnalSchedule,
@@ -181,6 +179,18 @@ impl TimeVaryingConfig {
         }
     }
 }
+
+qres_json::json_struct!(HourEntry {
+    offered_load,
+    mean_speed_kmh
+});
+qres_json::json_struct!(DiurnalSchedule { hours });
+qres_json::json_struct!(RetryPolicy { wait_secs, decay });
+qres_json::json_struct!(TimeVaryingConfig {
+    schedule,
+    retry,
+    days
+});
 
 #[cfg(test)]
 mod tests {

@@ -16,7 +16,6 @@
 
 use qres_cellnet::MediaClass;
 use qres_des::{RngFactory, StreamRng};
-use rand::Rng;
 
 use crate::scenario::{DirectionMode, Scenario};
 
@@ -40,7 +39,7 @@ pub struct MobileAttrs {
 pub fn sample_exponential(rng: &mut StreamRng, mean: f64) -> f64 {
     debug_assert!(mean > 0.0);
     // 1 - gen::<f64>() is in (0, 1], avoiding ln(0).
-    -mean * (1.0 - rng.gen::<f64>()).ln()
+    -mean * (1.0 - rng.gen_f64()).ln()
 }
 
 /// The per-run workload sampler.
@@ -109,14 +108,14 @@ impl Workload {
     /// Samples a new connection's attribute bundle (A2–A5).
     pub fn sample_attrs(&mut self) -> MobileAttrs {
         let rng = &mut self.attr_rng;
-        let media = if rng.gen::<f64>() < self.voice_ratio {
+        let media = if rng.gen_f64() < self.voice_ratio {
             MediaClass::Voice
         } else {
             MediaClass::Video
         };
-        let position_frac = rng.gen::<f64>();
+        let position_frac = rng.gen_f64();
         let (lo, hi) = self.speed_range;
-        let speed_kmh = lo + (hi - lo) * rng.gen::<f64>();
+        let speed_kmh = lo + (hi - lo) * rng.gen_f64();
         let heading = match self.direction_mode {
             DirectionMode::AllUp => 0,
             DirectionMode::Random => rng.gen_range(0..self.num_headings),
@@ -141,13 +140,13 @@ impl Workload {
     /// Flips the retry coin with the given success probability.
     pub fn retry_decision(&mut self, probability: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&probability));
-        probability > 0.0 && self.retry_rng.gen::<f64>() < probability
+        probability > 0.0 && self.retry_rng.gen_f64() < probability
     }
 
     /// Whether a mobile reverses direction at a cell crossing (robustness
     /// extension; always `false` under the paper's A4).
     pub fn turn_decision(&mut self) -> bool {
-        self.turn_probability > 0.0 && self.turn_rng.gen::<f64>() < self.turn_probability
+        self.turn_probability > 0.0 && self.turn_rng.gen_f64() < self.turn_probability
     }
 }
 
@@ -176,7 +175,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = workload(1);
         let mut b = workload(2);
-        let same = (0..32).filter(|_| a.sample_attrs() == b.sample_attrs()).count();
+        let same = (0..32)
+            .filter(|_| a.sample_attrs() == b.sample_attrs())
+            .count();
         assert!(same < 4);
     }
 

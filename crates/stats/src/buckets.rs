@@ -1,7 +1,6 @@
 //! Hourly bucketed ratio aggregation for the time-varying experiment.
 
 use qres_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::ratio::RatioCounter;
 
@@ -11,7 +10,7 @@ use crate::ratio::RatioCounter;
 /// one-hour period, i.e. `P_CB` at `t = 8.5` represents the average over the
 /// interval `[8, 9]`" (hours of the simulated multi-day clock). This
 /// accumulator implements exactly that bucketing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HourlyBuckets {
     name: String,
     buckets: Vec<RatioCounter>,

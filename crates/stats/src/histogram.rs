@@ -1,13 +1,11 @@
 //! Fixed-width histograms for distribution inspection.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-bin-width histogram over `[lo, hi)` with under/overflow bins.
 ///
 /// Used to inspect sojourn-time distributions (the marginal of the paper's
 /// Fig. 4 footprint) and hand-off inter-arrival patterns in tests and the
 /// `mobility_explorer` example.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -93,7 +91,11 @@ impl Histogram {
         let mut out = String::new();
         for (i, &n) in self.bins.iter().enumerate() {
             let (lo, hi) = self.bin_bounds(i);
-            let bar = "#".repeat((n as usize * max_width).div_ceil(peak as usize).min(max_width));
+            let bar = "#".repeat(
+                (n as usize * max_width)
+                    .div_ceil(peak as usize)
+                    .min(max_width),
+            );
             out.push_str(&format!("[{lo:8.1},{hi:8.1}) {n:8} {bar}\n"));
         }
         out

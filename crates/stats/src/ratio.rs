@@ -1,7 +1,5 @@
 //! Event-ratio counters for `P_CB` and `P_HD`.
 
-use serde::{Deserialize, Serialize};
-
 /// Counts trials and "hits" and reports their ratio.
 ///
 /// The paper's headline metrics are both of this shape:
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 ///   requests, trials = all new-connection requests;
 /// * `P_HD` — hand-off dropping probability: hits = dropped hand-offs,
 ///   trials = attempted hand-offs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RatioCounter {
     trials: u64,
     hits: u64,
@@ -84,6 +82,8 @@ impl RatioCounter {
         *self = Self::default();
     }
 }
+
+qres_json::json_struct!(RatioCounter { trials, hits });
 
 #[cfg(test)]
 mod tests {

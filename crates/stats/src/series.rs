@@ -1,7 +1,6 @@
 //! Time-series recording for trace figures.
 
 use qres_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A recorded `(time, value)` trace.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// of individual cells against simulation time; this recorder captures such
 /// signals with optional down-sampling (a minimum spacing between points) so
 /// long runs do not accumulate unbounded points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     name: String,
     min_spacing_secs: f64,
@@ -98,6 +97,12 @@ impl TimeSeries {
         out
     }
 }
+
+qres_json::json_struct!(TimeSeries {
+    name,
+    min_spacing_secs,
+    points
+});
 
 #[cfg(test)]
 mod tests {

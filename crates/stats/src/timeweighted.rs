@@ -1,7 +1,6 @@
 //! Time-weighted averaging of piecewise-constant signals.
 
 use qres_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Integrates a piecewise-constant signal over simulation time and reports
 /// its time-weighted mean.
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Usage: call [`TimeWeighted::update`] with the *new* value each time the
 /// signal changes; the previous value is credited with the elapsed span.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TimeWeighted {
     start: SimTime,
     last_time: SimTime,

@@ -1,13 +1,11 @@
 //! Numerically stable sample statistics (Welford's online algorithm).
 
-use serde::{Deserialize, Serialize};
-
 /// Online sample mean/variance accumulator.
 ///
 /// Used for per-admission-test sample statistics such as `N_calc` — the
 /// average number of `B_r` calculations per admission test (paper Fig. 13) —
 /// and for aggregating per-run results across seeds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Welford {
     count: u64,
     mean: f64,

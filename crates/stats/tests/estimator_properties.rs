@@ -1,14 +1,17 @@
-//! Property-based tests pitting the online estimators against naive
-//! reference implementations.
+//! Randomized tests pitting the online estimators against naive reference
+//! implementations. (Seeded-RNG loops stand in for proptest, which is
+//! unavailable offline.)
 
-use proptest::prelude::*;
-use qres_des::SimTime;
+use qres_des::{SimTime, StreamRng};
 use qres_stats::{Histogram, RatioCounter, TimeWeighted, Welford};
 
-proptest! {
-    /// Welford matches the two-pass mean/variance to floating tolerance.
-    #[test]
-    fn welford_matches_two_pass(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+/// Welford matches the two-pass mean/variance to floating tolerance.
+#[test]
+fn welford_matches_two_pass() {
+    let mut rng = StreamRng::seed_from_u64(0x57A7_0001);
+    for _ in 0..300 {
+        let n = rng.gen_range(2usize..200);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1e3, 1e3)).collect();
         let mut w = Welford::new();
         for &x in &xs {
             w.add(x);
@@ -16,19 +19,27 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((w.mean().unwrap() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((w.variance().unwrap() - var).abs() < 1e-5 * (1.0 + var.abs()));
-        prop_assert_eq!(w.min().unwrap(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
-        prop_assert_eq!(w.max().unwrap(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        assert!((w.mean().unwrap() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!((w.variance().unwrap() - var).abs() < 1e-5 * (1.0 + var.abs()));
+        assert_eq!(
+            w.min().unwrap(),
+            xs.iter().cloned().fold(f64::INFINITY, f64::min)
+        );
+        assert_eq!(
+            w.max().unwrap(),
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
     }
+}
 
-    /// Merging any split of the samples equals processing them whole.
-    #[test]
-    fn welford_merge_associative(
-        xs in prop::collection::vec(-100f64..100.0, 2..100),
-        split in 0usize..100,
-    ) {
-        let split = split % xs.len();
+/// Merging any split of the samples equals processing them whole.
+#[test]
+fn welford_merge_associative() {
+    let mut rng = StreamRng::seed_from_u64(0x57A7_0002);
+    for _ in 0..300 {
+        let n = rng.gen_range(2usize..100);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-100.0, 100.0)).collect();
+        let split = rng.gen_range(0usize..100) % xs.len();
         let mut whole = Welford::new();
         for &x in &xs {
             whole.add(x);
@@ -42,17 +53,27 @@ proptest! {
             b.add(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
     }
+}
 
-    /// TimeWeighted equals the piecewise integral computed directly.
-    #[test]
-    fn time_weighted_matches_integral(
-        steps in prop::collection::vec((0.01f64..10.0, -50f64..50.0), 1..50),
-        initial in -50f64..50.0,
-        tail in 0.01f64..10.0,
-    ) {
+/// TimeWeighted equals the piecewise integral computed directly.
+#[test]
+fn time_weighted_matches_integral() {
+    let mut rng = StreamRng::seed_from_u64(0x57A7_0003);
+    for _ in 0..300 {
+        let n = rng.gen_range(1usize..50);
+        let steps: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range_f64(0.01, 10.0),
+                    rng.gen_range_f64(-50.0, 50.0),
+                )
+            })
+            .collect();
+        let initial = rng.gen_range_f64(-50.0, 50.0);
+        let tail = rng.gen_range_f64(0.01, 10.0);
         let mut tw = TimeWeighted::new(SimTime::ZERO, initial);
         let mut t = 0.0;
         let mut integral = 0.0;
@@ -67,38 +88,48 @@ proptest! {
         t += tail;
         let expected = integral / t;
         let got = tw.mean(SimTime::from_secs(t)).unwrap();
-        prop_assert!((got - expected).abs() < 1e-9 * (1.0 + expected.abs()),
-            "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-9 * (1.0 + expected.abs()),
+            "got {got}, expected {expected}"
+        );
     }
+}
 
-    /// A ratio counter's ratio is always hits/trials and merging adds.
-    #[test]
-    fn ratio_counter_consistency(hits in prop::collection::vec(any::<bool>(), 1..300)) {
+/// A ratio counter's ratio is always hits/trials and merging adds.
+#[test]
+fn ratio_counter_consistency() {
+    let mut rng = StreamRng::seed_from_u64(0x57A7_0004);
+    for _ in 0..300 {
+        let n = rng.gen_range(1usize..300);
+        let hits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let mut c = RatioCounter::new();
         for &h in &hits {
             c.record(h);
         }
         let expected = hits.iter().filter(|&&h| h).count() as f64 / hits.len() as f64;
-        prop_assert_eq!(c.ratio().unwrap(), expected);
+        assert_eq!(c.ratio().unwrap(), expected);
         let mut doubled = c;
         doubled.merge(&c);
-        prop_assert_eq!(doubled.ratio().unwrap(), expected);
-        prop_assert_eq!(doubled.trials(), 2 * c.trials());
+        assert_eq!(doubled.ratio().unwrap(), expected);
+        assert_eq!(doubled.trials(), 2 * c.trials());
     }
+}
 
-    /// Every histogram sample lands somewhere: bins + underflow + overflow
-    /// always equals the count.
-    #[test]
-    fn histogram_conserves_samples(
-        xs in prop::collection::vec(-100f64..200.0, 0..300),
-        bins in 1usize..40,
-    ) {
+/// Every histogram sample lands somewhere: bins + underflow + overflow
+/// always equals the count.
+#[test]
+fn histogram_conserves_samples() {
+    let mut rng = StreamRng::seed_from_u64(0x57A7_0005);
+    for _ in 0..300 {
+        let n = rng.gen_range(0usize..300);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-100.0, 200.0)).collect();
+        let bins = rng.gen_range(1usize..40);
         let mut h = Histogram::new(0.0, 100.0, bins);
         for &x in &xs {
             h.add(x);
         }
         let total: u64 = h.bins().iter().sum::<u64>() + h.underflow() + h.overflow();
-        prop_assert_eq!(total, xs.len() as u64);
-        prop_assert_eq!(h.count(), xs.len() as u64);
+        assert_eq!(total, xs.len() as u64);
+        assert_eq!(h.count(), xs.len() as u64);
     }
 }

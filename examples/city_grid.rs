@@ -56,7 +56,10 @@ fn main() {
                     }
                 })
                 .collect();
-            println!("   {indent}{}", cells.chars().map(|c| format!("{c} ")).collect::<String>());
+            println!(
+                "   {indent}{}",
+                cells.chars().map(|c| format!("{c} ")).collect::<String>()
+            );
         }
         let worst = r
             .cells

@@ -40,7 +40,10 @@ fn main() {
 
     // Phase 3: an Eq. 4 walk-through for a mobile that entered from cell<3>.
     println!("p_h(mobile from cell<3> residing in cell<4> -> cell<5>) by Eq. 4:");
-    println!("{:>12} {:>10} {:>10} {:>10}", "extant soj", "T_est=10s", "T_est=30s", "T_est=60s");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "extant soj", "T_est=10s", "T_est=30s", "T_est=60s"
+    );
     for ext in [0.0, 10.0, 20.0, 30.0, 45.0] {
         let mut p = |t_est: f64| {
             handoff_probability(

@@ -22,8 +22,10 @@ fn main() {
         .duration_secs(5_000.0)
         .seed(42);
 
-    println!("running: {} s of the paper-baseline ring at L = {} ...",
-        scenario.duration_secs, scenario.offered_load);
+    println!(
+        "running: {} s of the paper-baseline ring at L = {} ...",
+        scenario.duration_secs, scenario.offered_load
+    );
     let result = run_scenario(&scenario);
 
     println!("\nscheme            : {}", result.label);
@@ -42,14 +44,21 @@ fn main() {
     println!(
         "P_HD              : {:.4}  (target 0.01 -> {})",
         result.p_hd(),
-        if result.p_hd() <= 0.011 { "MET" } else { "MISSED" }
+        if result.p_hd() <= 0.011 {
+            "MET"
+        } else {
+            "MISSED"
+        }
     );
     println!(
         "avg reservation   : {:.2} BU targeted, {:.2} BU in use (C = 100)",
         result.avg_br(),
         result.avg_bu()
     );
-    println!("N_calc            : {:.3} B_r calculations per admission test", result.n_calc_mean);
+    println!(
+        "N_calc            : {:.3} B_r calculations per admission test",
+        result.n_calc_mean
+    );
     println!(
         "backbone          : {} messages / {} hops for the B_r protocol",
         result.signaling.messages, result.signaling.hops

@@ -1,0 +1,49 @@
+#!/bin/bash
+# Runs the perf-tracking micro-benchmarks and writes a JSON snapshot
+# (default BENCH_02.json): the `reservation_b_i0` batched-vs-naive pairs at
+# populations 10/50/100/200, and the end-to-end sweep wall-clock over the
+# paper's 10-point load grid (parallel and sequential runners).
+#
+# Each qres-microbench harness prints machine-readable `BENCH {...}` lines;
+# this script collects them, adds the batched/naive speedup summary, and
+# emits one JSON document to start (and later compare along) the perf
+# trajectory.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_02.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+cargo bench -q -p qres-bench --bench reservation reservation_b_i0 2>&1 | tee -a "$raw"
+cargo bench -q -p qres-bench --bench end_to_end sweep_10pt_grid 2>&1 | tee -a "$raw"
+
+python3 - "$raw" "$out" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+entries = []
+for line in open(raw_path):
+    line = line.strip()
+    if line.startswith("BENCH "):
+        entries.append(json.loads(line[len("BENCH "):]))
+
+by_id = {e["id"]: e for e in entries}
+speedups = {}
+for pop in (10, 50, 100, 200):
+    batched = by_id.get(f"reservation_b_i0/batched/{pop}")
+    naive = by_id.get(f"reservation_b_i0/naive/{pop}")
+    if batched and naive:
+        speedups[str(pop)] = round(naive["ns_per_iter"] / batched["ns_per_iter"], 2)
+
+doc = {
+    "suite": "qres perf snapshot 02",
+    "benchmarks": entries,
+    "b_i0_speedup_batched_over_naive": speedups,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}: {len(entries)} benchmarks, speedups {speedups}")
+PY

@@ -49,17 +49,14 @@ fn template(kind: Option<&str>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&scenario).expect("scenario serializes")
-    );
+    println!("{}", qres_json::to_string_pretty(&scenario));
     ExitCode::SUCCESS
 }
 
 fn load_scenario(path: &str) -> Result<Scenario, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let scenario: Scenario =
-        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        qres_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     scenario.validate();
     Ok(scenario)
 }
@@ -79,10 +76,7 @@ fn run(args: &[String]) -> ExitCode {
     };
     let result = run_scenario(&scenario);
     if as_json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&result).expect("result serializes")
-        );
+        println!("{}", qres_json::to_string_pretty(&result));
     } else {
         print!("{}", cell_status_table(&result));
         println!(

@@ -11,8 +11,8 @@ fn scenario_json_roundtrip() {
         .low_mobility()
         .trace_cells(&[4, 5])
         .seed(33);
-    let json = serde_json::to_string_pretty(&original).unwrap();
-    let parsed: Scenario = serde_json::from_str(&json).unwrap();
+    let json = qres_json::to_string_pretty(&original);
+    let parsed: Scenario = qres_json::from_str(&json).unwrap();
     parsed.validate();
     assert_eq!(parsed.offered_load, original.offered_load);
     assert_eq!(parsed.scheme, original.scheme);
@@ -26,8 +26,7 @@ fn scenario_roundtrip_preserves_simulation_results() {
         .offered_load(150.0)
         .duration_secs(200.0)
         .seed(5);
-    let parsed: Scenario =
-        serde_json::from_str(&serde_json::to_string(&original).unwrap()).unwrap();
+    let parsed: Scenario = qres_json::from_str(&qres_json::to_string(&original)).unwrap();
     let a = run_scenario(&original);
     let b = run_scenario(&parsed);
     assert_eq!(a.system_cb, b.system_cb);
@@ -50,11 +49,11 @@ fn complex_scenarios_roundtrip() {
             mean_sojourn_secs: 36.0,
         }),
     ] {
-        let json = serde_json::to_string(&scenario).unwrap();
-        let parsed: Scenario = serde_json::from_str(&json).unwrap();
+        let json = qres_json::to_string(&scenario);
+        let parsed: Scenario = qres_json::from_str(&json).unwrap();
         parsed.validate();
         assert_eq!(
-            serde_json::to_string(&parsed).unwrap(),
+            qres_json::to_string(&parsed),
             json,
             "round-trip must be lossless"
         );
@@ -70,11 +69,11 @@ fn run_result_serializes_with_traces() {
             .trace_cells(&[4])
             .seed(9),
     );
-    let json = serde_json::to_string(&r).unwrap();
+    let json = qres_json::to_string(&r);
     assert!(json.contains("\"system_cb\""));
     assert!(json.contains("t_est_cell4"));
     // And parses back.
-    let parsed: qres::sim::RunResult = serde_json::from_str(&json).unwrap();
+    let parsed: qres::sim::RunResult = qres_json::from_str(&json).unwrap();
     assert_eq!(parsed.p_cb(), r.p_cb());
     assert_eq!(parsed.traces.len(), 1);
 }

@@ -1,25 +1,44 @@
-//! Property-based tests of the mobility estimator (Eq. 4) and the HOE
+//! Randomized property tests of the mobility estimator (Eq. 4) and the HOE
 //! cache — the probabilistic core the reservation arithmetic rests on.
+//!
+//! `proptest` is not available offline, so these drive the same properties
+//! from a seeded [`StreamRng`]: deterministic, reproducible, and broad
+//! (hundreds of random histories per property).
 
-use proptest::prelude::*;
 use qres::cellnet::CellId;
-use qres::des::{Duration, SimTime};
+use qres::des::{Duration, SimTime, StreamRng};
 use qres::mobility::{handoff_probability, HandoffEvent, HandoffQuery, HoeCache, HoeConfig};
 
-/// A generated hand-off history: (time offset, prev, next, sojourn).
-fn history_strategy() -> impl Strategy<Value = Vec<(f64, Option<u32>, u32, f64)>> {
-    prop::collection::vec(
-        (
-            0.0f64..1_000.0,          // event spacing
-            prop::option::of(0u32..5), // prev
-            0u32..5,                   // next
-            0.1f64..500.0,             // sojourn
-        ),
-        1..120,
-    )
+/// A generated hand-off history: (time gap, prev, next, sojourn).
+type RawEvent = (f64, Option<u32>, u32, f64);
+
+fn random_history(rng: &mut StreamRng) -> Vec<RawEvent> {
+    let len = rng.gen_range(1usize..120);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range_f64(0.0, 1_000.0),
+                if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(0u32..5))
+                } else {
+                    None
+                },
+                rng.gen_range(0u32..5),
+                rng.gen_range_f64(0.1, 500.0),
+            )
+        })
+        .collect()
 }
 
-fn build_cache(history: &[(f64, Option<u32>, u32, f64)], n_quad: usize) -> (HoeCache, SimTime) {
+fn random_prev(rng: &mut StreamRng) -> Option<u32> {
+    if rng.gen_bool(0.5) {
+        Some(rng.gen_range(0u32..5))
+    } else {
+        None
+    }
+}
+
+fn build_cache(history: &[RawEvent], n_quad: usize) -> (HoeCache, SimTime) {
     let mut config = HoeConfig::stationary();
     config.n_quad = n_quad;
     let mut cache = HoeCache::new(config);
@@ -36,107 +55,126 @@ fn build_cache(history: &[(f64, Option<u32>, u32, f64)], n_quad: usize) -> (HoeC
     (cache, SimTime::from_secs(t + 1.0))
 }
 
-proptest! {
-    /// p_h is always a probability.
-    #[test]
-    fn p_h_in_unit_interval(
-        history in history_strategy(),
-        prev in prop::option::of(0u32..5),
-        next in 0u32..5,
-        ext in 0.0f64..600.0,
-        t_est in 0.0f64..600.0,
-    ) {
+/// p_h is always a probability.
+#[test]
+fn p_h_in_unit_interval() {
+    let mut rng = StreamRng::seed_from_u64(0xE571_0001);
+    for _ in 0..200 {
+        let history = random_history(&mut rng);
         let (mut cache, now) = build_cache(&history, 100);
-        let p = handoff_probability(&mut cache, HandoffQuery {
-            now,
-            prev: prev.map(CellId),
-            extant_sojourn: Duration::from_secs(ext),
-            next: CellId(next),
-            t_est: Duration::from_secs(t_est),
-        });
-        prop_assert!((0.0..=1.0).contains(&p), "p_h = {p}");
+        let p = handoff_probability(
+            &mut cache,
+            HandoffQuery {
+                now,
+                prev: random_prev(&mut rng).map(CellId),
+                extant_sojourn: Duration::from_secs(rng.gen_range_f64(0.0, 600.0)),
+                next: CellId(rng.gen_range(0u32..5)),
+                t_est: Duration::from_secs(rng.gen_range_f64(0.0, 600.0)),
+            },
+        );
+        assert!((0.0..=1.0).contains(&p), "p_h = {p}");
     }
+}
 
-    /// p_h is non-decreasing in the estimation window T_est — the
-    /// monotonicity the adaptive controller exploits (reserve more by
-    /// looking further ahead).
-    #[test]
-    fn p_h_monotone_in_t_est(
-        history in history_strategy(),
-        prev in prop::option::of(0u32..5),
-        next in 0u32..5,
-        ext in 0.0f64..300.0,
-    ) {
+/// p_h is non-decreasing in the estimation window T_est — the monotonicity
+/// the adaptive controller exploits (reserve more by looking further ahead).
+#[test]
+fn p_h_monotone_in_t_est() {
+    let mut rng = StreamRng::seed_from_u64(0xE571_0002);
+    for _ in 0..200 {
+        let history = random_history(&mut rng);
         let (mut cache, now) = build_cache(&history, 100);
+        let prev = random_prev(&mut rng).map(CellId);
+        let next = CellId(rng.gen_range(0u32..5));
+        let ext = rng.gen_range_f64(0.0, 300.0);
         let mut last = 0.0;
         for t_est in [1.0, 5.0, 20.0, 60.0, 200.0, 600.0] {
-            let p = handoff_probability(&mut cache, HandoffQuery {
-                now,
-                prev: prev.map(CellId),
-                extant_sojourn: Duration::from_secs(ext),
-                next: CellId(next),
-                t_est: Duration::from_secs(t_est),
-            });
-            prop_assert!(p >= last - 1e-12, "p_h dropped from {last} to {p}");
+            let p = handoff_probability(
+                &mut cache,
+                HandoffQuery {
+                    now,
+                    prev,
+                    extant_sojourn: Duration::from_secs(ext),
+                    next,
+                    t_est: Duration::from_secs(t_est),
+                },
+            );
+            assert!(p >= last - 1e-12, "p_h dropped from {last} to {p}");
             last = p;
         }
     }
+}
 
-    /// Total hand-off probability over all next cells is at most 1
-    /// (the estimation function is a sub-probability once conditioned).
-    #[test]
-    fn p_h_sums_to_at_most_one(
-        history in history_strategy(),
-        prev in prop::option::of(0u32..5),
-        ext in 0.0f64..300.0,
-        t_est in 0.0f64..600.0,
-    ) {
+/// Total hand-off probability over all next cells is at most 1 (the
+/// estimation function is a sub-probability once conditioned).
+#[test]
+fn p_h_sums_to_at_most_one() {
+    let mut rng = StreamRng::seed_from_u64(0xE571_0003);
+    for _ in 0..200 {
+        let history = random_history(&mut rng);
         let (mut cache, now) = build_cache(&history, 100);
+        let prev = random_prev(&mut rng).map(CellId);
+        let ext = rng.gen_range_f64(0.0, 300.0);
+        let t_est = rng.gen_range_f64(0.0, 600.0);
         let total: f64 = (0..5)
-            .map(|next| handoff_probability(&mut cache, HandoffQuery {
-                now,
-                prev: prev.map(CellId),
-                extant_sojourn: Duration::from_secs(ext),
-                next: CellId(next),
-                t_est: Duration::from_secs(t_est),
-            }))
+            .map(|next| {
+                handoff_probability(
+                    &mut cache,
+                    HandoffQuery {
+                        now,
+                        prev,
+                        extant_sojourn: Duration::from_secs(ext),
+                        next: CellId(next),
+                        t_est: Duration::from_secs(t_est),
+                    },
+                )
+            })
             .sum();
-        prop_assert!(total <= 1.0 + 1e-9, "Σ p_h = {total}");
+        assert!(total <= 1.0 + 1e-9, "Σ p_h = {total}");
     }
+}
 
-    /// With a window covering every observed sojourn and extant sojourn 0,
-    /// the probabilities over next cells sum to exactly 1 whenever the
-    /// prev has any history (everything observed eventually left).
-    #[test]
-    fn full_window_partitions_probability(
-        history in history_strategy(),
-        prev in prop::option::of(0u32..5),
-    ) {
+/// With a window covering every observed sojourn and extant sojourn 0, the
+/// probabilities over next cells sum to exactly 1 whenever the prev has any
+/// history (everything observed eventually left).
+#[test]
+fn full_window_partitions_probability() {
+    let mut rng = StreamRng::seed_from_u64(0xE571_0004);
+    for _ in 0..200 {
+        let history = random_history(&mut rng);
+        let prev = random_prev(&mut rng);
         let (mut cache, now) = build_cache(&history, 1_000);
         let has_history = history.iter().any(|&(_, p, _, _)| p == prev);
         let total: f64 = (0..5)
-            .map(|next| handoff_probability(&mut cache, HandoffQuery {
-                now,
-                prev: prev.map(CellId),
-                extant_sojourn: Duration::ZERO,
-                next: CellId(next),
-                t_est: Duration::from_secs(1_000.0),
-            }))
+            .map(|next| {
+                handoff_probability(
+                    &mut cache,
+                    HandoffQuery {
+                        now,
+                        prev: prev.map(CellId),
+                        extant_sojourn: Duration::ZERO,
+                        next: CellId(next),
+                        t_est: Duration::from_secs(1_000.0),
+                    },
+                )
+            })
             .sum();
         if has_history {
-            prop_assert!((total - 1.0).abs() < 1e-9, "Σ p_h = {total}");
+            assert!((total - 1.0).abs() < 1e-9, "Σ p_h = {total}");
         } else {
-            prop_assert_eq!(total, 0.0);
+            assert_eq!(total, 0.0);
         }
     }
+}
 
-    /// Mobiles that outlasted every cached sojourn are stationary: p_h = 0
-    /// toward every neighbor.
-    #[test]
-    fn outlasting_history_means_stationary(
-        history in history_strategy(),
-        prev in prop::option::of(0u32..5),
-    ) {
+/// Mobiles that outlasted every cached sojourn are stationary: p_h = 0
+/// toward every neighbor.
+#[test]
+fn outlasting_history_means_stationary() {
+    let mut rng = StreamRng::seed_from_u64(0xE571_0005);
+    for _ in 0..200 {
+        let history = random_history(&mut rng);
+        let prev = random_prev(&mut rng);
         let (mut cache, now) = build_cache(&history, 100);
         let max_soj = history
             .iter()
@@ -144,26 +182,31 @@ proptest! {
             .map(|&(_, _, _, s)| s)
             .fold(0.0, f64::max);
         for next in 0..5 {
-            let p = handoff_probability(&mut cache, HandoffQuery {
-                now,
-                prev: prev.map(CellId),
-                extant_sojourn: Duration::from_secs(max_soj + 1.0),
-                next: CellId(next),
-                t_est: Duration::from_secs(10_000.0),
-            });
-            prop_assert_eq!(p, 0.0);
+            let p = handoff_probability(
+                &mut cache,
+                HandoffQuery {
+                    now,
+                    prev: prev.map(CellId),
+                    extant_sojourn: Duration::from_secs(max_soj + 1.0),
+                    next: CellId(next),
+                    t_est: Duration::from_secs(10_000.0),
+                },
+            );
+            assert_eq!(p, 0.0);
         }
     }
+}
 
-    /// The N_quad cap bounds both storage and the effective sample per
-    /// (prev, next) pair.
-    #[test]
-    fn n_quad_bounds_storage(
-        history in history_strategy(),
-        n_quad in 1usize..50,
-    ) {
+/// The N_quad cap bounds both storage and the effective sample per
+/// (prev, next) pair.
+#[test]
+fn n_quad_bounds_storage() {
+    let mut rng = StreamRng::seed_from_u64(0xE571_0006);
+    for _ in 0..200 {
+        let history = random_history(&mut rng);
+        let n_quad = rng.gen_range(1usize..50);
         let (cache, _now) = build_cache(&history, n_quad);
         // Pairs: at most 6 prevs (incl. None) x 5 nexts.
-        prop_assert!(cache.stored_events() <= n_quad * 30);
+        assert!(cache.stored_events() <= n_quad * 30);
     }
 }

@@ -1,38 +1,39 @@
-//! Property-based tests of the reservation system's hard invariants under
+//! Randomized tests of the reservation system's hard invariants under
 //! randomized workloads — bandwidth accounting can never go wrong, whatever
-//! the scheme, load, media mix, mobility, or topology.
+//! the scheme, load, media mix, mobility, or topology. (Seeded-RNG loops
+//! stand in for proptest, which is unavailable offline.)
 
-use proptest::prelude::*;
+use qres::des::StreamRng;
 use qres::sim::{run_scenario, Scenario, SchemeKind};
 
-fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
-    prop_oneof![
-        (1u32..50).prop_map(|guard_bus| SchemeKind::Static { guard_bus }),
-        Just(SchemeKind::Ac1),
-        Just(SchemeKind::Ac2),
-        Just(SchemeKind::Ac3),
-    ]
+fn random_scheme(rng: &mut StreamRng) -> SchemeKind {
+    match rng.gen_range(0u32..4) {
+        0 => SchemeKind::Static {
+            guard_bus: rng.gen_range(1u32..50),
+        },
+        1 => SchemeKind::Ac1,
+        2 => SchemeKind::Ac2,
+        _ => SchemeKind::Ac3,
+    }
 }
 
-proptest! {
+/// Whatever the configuration: probabilities are probabilities,
+/// time-weighted bandwidths respect the link capacity, counters are
+/// consistent, and the (debug-asserted) cell accounting held throughout
+/// the run.
+#[test]
+fn run_invariants_hold() {
     // Full-stack runs are comparatively expensive; a couple dozen random
     // configurations still covers the parameter cube well.
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Whatever the configuration: probabilities are probabilities,
-    /// time-weighted bandwidths respect the link capacity, counters are
-    /// consistent, and the (debug-asserted) cell accounting held
-    /// throughout the run.
-    #[test]
-    fn run_invariants_hold(
-        scheme in scheme_strategy(),
-        load in 20.0f64..320.0,
-        r_vo in 0.0f64..=1.0,
-        high_mobility in any::<bool>(),
-        ring in any::<bool>(),
-        one_way in any::<bool>(),
-        seed in 0u64..1_000,
-    ) {
+    let mut rng = StreamRng::seed_from_u64(0x5157_0001);
+    for _ in 0..24 {
+        let scheme = random_scheme(&mut rng);
+        let load = rng.gen_range_f64(20.0, 320.0);
+        let r_vo = rng.gen_range_f64(0.0, 1.0);
+        let high_mobility = rng.gen_bool(0.5);
+        let ring = rng.gen_bool(0.5);
+        let one_way = rng.gen_bool(0.5);
+        let seed = rng.gen_range(0u64..1_000);
         let mut s = Scenario::paper_baseline()
             .scheme(scheme)
             .offered_load(load)
@@ -43,47 +44,57 @@ proptest! {
         if one_way {
             s = s.one_directional();
         }
-        let s = if high_mobility { s.high_mobility() } else { s.low_mobility() };
+        let s = if high_mobility {
+            s.high_mobility()
+        } else {
+            s.low_mobility()
+        };
         let r = run_scenario(&s);
 
-        prop_assert!((0.0..=1.0).contains(&r.p_cb()));
-        prop_assert!((0.0..=1.0).contains(&r.p_hd()));
-        prop_assert!(r.system_cb.hits() <= r.system_cb.trials());
-        prop_assert!(r.system_hd.hits() <= r.system_hd.trials());
-        prop_assert!(r.avg_bu() <= 100.0 + 1e-9, "avg B_u exceeds capacity");
-        prop_assert!(r.avg_br() >= 0.0);
+        let ctx = format!("scheme {scheme:?}, L {load}, R_vo {r_vo}, seed {seed}");
+        assert!((0.0..=1.0).contains(&r.p_cb()), "{ctx}");
+        assert!((0.0..=1.0).contains(&r.p_hd()), "{ctx}");
+        assert!(r.system_cb.hits() <= r.system_cb.trials(), "{ctx}");
+        assert!(r.system_hd.hits() <= r.system_hd.trials(), "{ctx}");
+        assert!(
+            r.avg_bu() <= 100.0 + 1e-9,
+            "avg B_u exceeds capacity: {ctx}"
+        );
+        assert!(r.avg_br() >= 0.0, "{ctx}");
         for c in &r.cells {
-            prop_assert!(c.b_u_final <= 100);
-            prop_assert!(c.b_u_avg <= 100.0 + 1e-9);
-            prop_assert!(c.b_r_final >= 0.0);
-            prop_assert!(c.blocked <= c.requests);
-            prop_assert!(c.drops <= c.handoffs);
-            prop_assert!(c.t_est_secs >= 1);
+            assert!(c.b_u_final <= 100, "{ctx}");
+            assert!(c.b_u_avg <= 100.0 + 1e-9, "{ctx}");
+            assert!(c.b_r_final >= 0.0, "{ctx}");
+            assert!(c.blocked <= c.requests, "{ctx}");
+            assert!(c.drops <= c.handoffs, "{ctx}");
+            assert!(c.t_est_secs >= 1, "{ctx}");
         }
         // Per-cell counters add up to the system counters.
         let total_req: u64 = r.cells.iter().map(|c| c.requests).sum();
         let total_ho: u64 = r.cells.iter().map(|c| c.handoffs).sum();
-        prop_assert_eq!(total_req, r.system_cb.trials());
-        prop_assert_eq!(total_ho, r.system_hd.trials());
+        assert_eq!(total_req, r.system_cb.trials(), "{ctx}");
+        assert_eq!(total_ho, r.system_hd.trials(), "{ctx}");
     }
+}
 
-    /// N_calc bounds per scheme: AC1 exactly 1, AC2 exactly 1 + |A|,
-    /// AC3 in between (paper Fig. 13's invariant, for all loads).
-    #[test]
-    fn n_calc_bounds(
-        load in 20.0f64..320.0,
-        seed in 0u64..1_000,
-    ) {
+/// N_calc bounds per scheme: AC1 exactly 1, AC2 exactly 1 + |A|, AC3 in
+/// between (paper Fig. 13's invariant, for all loads).
+#[test]
+fn n_calc_bounds() {
+    let mut rng = StreamRng::seed_from_u64(0x5157_0002);
+    for _ in 0..6 {
+        let load = rng.gen_range_f64(20.0, 320.0);
+        let seed = rng.gen_range(0u64..1_000);
         let base = Scenario::paper_baseline()
             .offered_load(load)
             .duration_secs(120.0)
             .seed(seed);
         let ac1 = run_scenario(&base.clone().scheme(SchemeKind::Ac1));
-        prop_assert_eq!(ac1.n_calc_mean, 1.0);
+        assert_eq!(ac1.n_calc_mean, 1.0, "L {load}, seed {seed}");
         let ac2 = run_scenario(&base.clone().scheme(SchemeKind::Ac2));
-        prop_assert_eq!(ac2.n_calc_mean, 3.0);
+        assert_eq!(ac2.n_calc_mean, 3.0, "L {load}, seed {seed}");
         let ac3 = run_scenario(&base.clone().scheme(SchemeKind::Ac3));
-        prop_assert!(ac3.n_calc_mean >= 1.0 - 1e-12);
-        prop_assert!(ac3.n_calc_mean <= 3.0 + 1e-12);
+        assert!(ac3.n_calc_mean >= 1.0 - 1e-12, "L {load}, seed {seed}");
+        assert!(ac3.n_calc_mean <= 3.0 + 1e-12, "L {load}, seed {seed}");
     }
 }
