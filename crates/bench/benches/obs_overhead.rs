@@ -1,0 +1,46 @@
+//! Telemetry overhead bound: the same end-to-end scenario with the
+//! recorder disabled (the default — every instrumentation site reduces to
+//! one relaxed atomic load and a branch) and enabled at debug level
+//! (timestamps, histogram updates, event recording into the ring).
+//!
+//! The acceptance criterion is on the *disabled* row: it must stay within
+//! 2% of the pre-observability end-to-end baseline
+//! (`end_to_end_100s/ac3_L150` of BENCH_02). `scripts/bench_snapshot.sh`
+//! computes the enabled-vs-disabled delta into `BENCH_03.json`.
+
+use qres_microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qres_sim::{run_scenario, Scenario, SchemeKind};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    for mode in ["disabled", "enabled"] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            if mode == "enabled" {
+                qres_obs::set_level(qres_obs::Level::Debug);
+            } else {
+                qres_obs::set_level(qres_obs::Level::Off);
+            }
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = run_scenario(
+                    &Scenario::paper_baseline()
+                        .scheme(SchemeKind::Ac3)
+                        .offered_load(150.0)
+                        .duration_secs(100.0)
+                        .seed(seed),
+                );
+                black_box(r.events_dispatched)
+            });
+            // Leave the process clean for the next case.
+            qres_obs::set_level(qres_obs::Level::Off);
+            qres_obs::reset();
+            qres_obs::reset_metrics();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -7,15 +7,27 @@
 //!
 //! * `--quick` — a shortened run for smoke-testing (minutes → seconds);
 //! * `--seed <n>` — override the base seed;
-//! * `--csv` — print CSV only (for piping into plotting tools).
+//! * `--csv` — print CSV only (for piping into plotting tools);
+//! * `--obs` — enable telemetry at debug level and write
+//!   `obs_snapshot.prom` (Prometheus exposition) and `obs_events.jsonl`
+//!   (the structured event stream) into the working directory.
 //!
 //! The `benches/` directory holds Criterion micro-benchmarks of the
 //! algorithmic building blocks (HOE cache ops, Eq. 4 queries, `B_r`
-//! computation, admission tests, DES queue ops, end-to-end step rate).
+//! computation, admission tests, DES queue ops, end-to-end step rate),
+//! including `obs_overhead`, which bounds the disabled-telemetry cost.
 
 #![warn(missing_docs)]
 
 use std::env;
+use std::path::Path;
+
+/// Prometheus snapshot written by `--obs` (working directory).
+pub const OBS_PROM_PATH: &str = "obs_snapshot.prom";
+/// JSONL event stream written by `--obs` (working directory).
+pub const OBS_JSONL_PATH: &str = "obs_events.jsonl";
+
+const USAGE: &str = "options: [--quick] [--seed <n>] [--csv] [--obs]";
 
 /// Common CLI options of the experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -26,22 +38,28 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Emit CSV only.
     pub csv_only: bool,
+    /// Telemetry enabled (`--obs`).
+    pub obs: bool,
 }
 
 impl ExpOptions {
     /// Parses options from `std::env::args`. Unknown flags abort with a
-    /// usage message.
+    /// usage message. `--obs` switches the recorder on at debug level and
+    /// routes event-ring overflow to [`OBS_JSONL_PATH`] so the stream is
+    /// complete; [`emit`] writes the exposition snapshot at the end.
     pub fn from_args() -> Self {
         let mut opts = ExpOptions {
             quick: false,
             seed: 1,
             csv_only: false,
+            obs: false,
         };
         let mut args = env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
                 "--csv" => opts.csv_only = true,
+                "--obs" => opts.obs = true,
                 "--seed" => {
                     let v = args
                         .next()
@@ -50,10 +68,14 @@ impl ExpOptions {
                         .parse()
                         .unwrap_or_else(|_| die("--seed must be an integer"));
                 }
-                "--help" | "-h" => die("options: [--quick] [--seed <n>] [--csv]"),
-                other => die(&format!(
-                    "unknown option `{other}`; options: [--quick] [--seed <n>] [--csv]"
-                )),
+                "--help" | "-h" => die(USAGE),
+                other => die(&format!("unknown option `{other}`; {USAGE}")),
+            }
+        }
+        if opts.obs {
+            qres_obs::set_level(qres_obs::Level::Debug);
+            if let Err(e) = qres_obs::set_spill_path(Path::new(OBS_JSONL_PATH)) {
+                die(&format!("cannot create {OBS_JSONL_PATH}: {e}"));
             }
         }
         opts
@@ -92,7 +114,10 @@ pub fn header(opts: &ExpOptions, title: &str) {
     }
 }
 
-/// Prints a rendered table (text + CSV, or CSV only).
+/// Prints a rendered table (text + CSV, or CSV only). Under `--obs`, also
+/// flushes telemetry: buffered events are appended to [`OBS_JSONL_PATH`]
+/// and the Prometheus exposition is (re)written to [`OBS_PROM_PATH`] —
+/// repeat calls refresh the snapshot, so the last one wins.
 pub fn emit(opts: &ExpOptions, table: &qres_sim::report::SeriesTable) {
     if opts.csv_only {
         print!("{}", table.to_csv());
@@ -100,5 +125,14 @@ pub fn emit(opts: &ExpOptions, table: &qres_sim::report::SeriesTable) {
         print!("{}", table.render());
         println!();
         print!("{}", table.to_csv());
+    }
+    if opts.obs {
+        qres_obs::flush_spill();
+        let prom = qres_obs::prometheus_text();
+        if let Err(e) = std::fs::write(OBS_PROM_PATH, prom) {
+            eprintln!("warning: cannot write {OBS_PROM_PATH}: {e}");
+        } else if !opts.csv_only {
+            println!("\n[obs] snapshot -> {OBS_PROM_PATH}, events -> {OBS_JSONL_PATH}");
+        }
     }
 }

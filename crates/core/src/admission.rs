@@ -121,6 +121,16 @@ impl AdmissionDecision {
     pub fn is_blocked(self) -> bool {
         !self.is_admitted()
     }
+
+    /// The vetoing neighbor's rank, when an adjacent cell blocked the
+    /// request (the `blocked_by_neighbor` field of the telemetry
+    /// `admission` event).
+    pub fn blocking_neighbor(self) -> Option<u8> {
+        match self {
+            AdmissionDecision::BlockedByNeighbor { neighbor_rank } => Some(neighbor_rank),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +168,12 @@ mod tests {
         assert!(AdmissionDecision::Admitted.is_admitted());
         assert!(AdmissionDecision::BlockedLocal.is_blocked());
         assert!(AdmissionDecision::BlockedByNeighbor { neighbor_rank: 0 }.is_blocked());
+        assert_eq!(AdmissionDecision::Admitted.blocking_neighbor(), None);
+        assert_eq!(AdmissionDecision::BlockedLocal.blocking_neighbor(), None);
+        assert_eq!(
+            AdmissionDecision::BlockedByNeighbor { neighbor_rank: 3 }.blocking_neighbor(),
+            Some(3)
+        );
     }
 
     #[test]

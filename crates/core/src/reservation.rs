@@ -57,6 +57,9 @@ pub fn neighbor_contribution(
             bandwidth: conn.bandwidth.as_f64(),
         })
         .collect();
+    if qres_obs::enabled() {
+        qres_obs::metrics::B_I0_EVALS_TOTAL.add(conns.len() as u64);
+    }
     batched_contribution(neighbor_cache, now, target, t_est_of_target, &conns)
 }
 

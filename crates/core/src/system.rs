@@ -109,16 +109,20 @@ impl ReservationSystem {
         config.validate();
         let sites = topology
             .cells()
-            .map(|id| CellSite {
-                cell: Cell::new(id, config.capacity),
-                hoe: HoeCache::new(config.hoe.clone()),
-                controller: WindowController::new(
-                    config.p_hd_target,
-                    config.t_start_secs,
-                    config.step_policy,
-                ),
-                last_br: 0.0,
-                br_memo: std::collections::BTreeMap::new(),
+            .map(|id| {
+                let mut hoe = HoeCache::new(config.hoe.clone());
+                hoe.set_obs_owner(id.0);
+                CellSite {
+                    cell: Cell::new(id, config.capacity),
+                    hoe,
+                    controller: WindowController::new(
+                        config.p_hd_target,
+                        config.t_start_secs,
+                        config.step_policy,
+                    ),
+                    last_br: 0.0,
+                    br_memo: std::collections::BTreeMap::new(),
+                }
             })
             .collect();
         ReservationSystem {
@@ -205,11 +209,15 @@ impl ReservationSystem {
             br_memo_hits,
             ..
         } = self;
+        let obs_on = qres_obs::enabled();
+        let mut obs_hits = 0u32;
+        let mut obs_recomputed = 0u32;
         let mut br = 0.0;
         for &nb in topology.neighbors(target) {
             // The target's BS announces T_est and the neighbor replies
             // with its contribution: one round-trip per neighbor.
             signaling.reservation_exchange(target, nb);
+            let obs_t0 = obs_on.then(std::time::Instant::now);
             let cell_version = sites[nb.index()].cell.version();
             let hoe_version = sites[nb.index()].hoe.version();
             let memo_hit = sites[target.index()].br_memo.get(&nb).copied().filter(|m| {
@@ -219,6 +227,7 @@ impl ReservationSystem {
                     && now >= m.now
                     && now - m.now <= tolerance
             });
+            let was_hit = memo_hit.is_some();
             br += match memo_hit {
                 Some(m) => {
                     *br_memo_hits += 1;
@@ -245,9 +254,30 @@ impl ReservationSystem {
                     value
                 }
             };
+            if let Some(t0) = obs_t0 {
+                let elapsed = t0.elapsed();
+                if was_hit {
+                    obs_hits += 1;
+                    qres_obs::metrics::BR_TERM_HIT_NS.record_duration(elapsed);
+                } else {
+                    obs_recomputed += 1;
+                    qres_obs::metrics::BR_TERM_MISS_NS.record_duration(elapsed);
+                }
+            }
         }
         self.sites[target.index()].last_br = br;
         self.br_calcs_total += 1;
+        if obs_on {
+            qres_obs::metrics::BR_MEMO_HITS_TOTAL.add(u64::from(obs_hits));
+            qres_obs::metrics::BR_TERMS_RECOMPUTED_TOTAL.add(u64::from(obs_recomputed));
+            qres_obs::record(qres_obs::ObsEvent::BrCompute {
+                t: now.as_secs(),
+                cell: target.0,
+                memo_hits: obs_hits,
+                recomputed: obs_recomputed,
+                br,
+            });
+        }
         br
     }
 
@@ -266,6 +296,7 @@ impl ReservationSystem {
         req: NewConnectionRequest,
     ) -> AdmissionDecision {
         let calcs_before = self.br_calcs_total;
+        let obs_t0 = qres_obs::enabled().then(std::time::Instant::now);
         let decision = match self.config.scheme {
             SchemeConfig::Static { guard } => {
                 let cell = &self.sites[req.cell.index()].cell;
@@ -305,6 +336,19 @@ impl ReservationSystem {
             }
         };
         self.n_calc.add((self.br_calcs_total - calcs_before) as f64);
+        if let Some(t0) = obs_t0 {
+            qres_obs::metrics::ADMISSION_TEST_NS.record_duration(t0.elapsed());
+            qres_obs::record(qres_obs::ObsEvent::Admission {
+                t: now.as_secs(),
+                cell: req.cell.0,
+                scheme: self.config.scheme.label(),
+                admitted: decision.is_admitted(),
+                blocked_by_neighbor: decision.blocking_neighbor(),
+                // `B_r` at test time: every scheme updates `last_br` as
+                // part of its test (static keeps its guard-band default).
+                br: self.sites[req.cell.index()].last_br,
+            });
+        }
         if decision.is_admitted() {
             self.sites[req.cell.index()]
                 .cell
@@ -453,9 +497,25 @@ impl ReservationSystem {
             // T_soj,max: the largest sojourn in the hand-off estimation
             // functions of the target's adjacent cells (caps T_est growth).
             let t_soj_max = self.max_sojourn_around(now, to);
-            self.sites[to.index()]
+            let window_event = self.sites[to.index()]
                 .controller
                 .observe_handoff(!fits, t_soj_max);
+            if qres_obs::enabled() {
+                if let Some(delta) = window_event.delta_label() {
+                    if window_event.is_increase() {
+                        qres_obs::metrics::T_EST_INCREASES_TOTAL.add(1);
+                    } else {
+                        qres_obs::metrics::T_EST_DECREASES_TOTAL.add(1);
+                    }
+                    qres_obs::record(qres_obs::ObsEvent::TEstChange {
+                        t: now.as_secs(),
+                        cell: to.0,
+                        t_est_secs: self.sites[to.index()].controller.t_est_secs(),
+                        delta,
+                        dropped: !fits,
+                    });
+                }
+            }
         }
 
         let removed = self.sites[from.index()]

@@ -18,6 +18,9 @@ use std::collections::HashSet;
 
 use crate::time::SimTime;
 
+/// Live-event count at which the first high-water telemetry mark fires.
+const OBS_FIRST_MARK: usize = 64;
+
 /// A handle to a scheduled event, usable to cancel it before it fires.
 ///
 /// Handles are unique per queue for the lifetime of the queue (a `u64`
@@ -66,6 +69,10 @@ pub struct EventQueue<E> {
     next_seq: u64,
     scheduled_total: u64,
     cancelled_total: u64,
+    live_high_water: usize,
+    /// Next live-event count at which a `QueueHighWater` telemetry event
+    /// fires (doubles each time, so a run emits O(log n) marks).
+    obs_next_mark: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -83,6 +90,8 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             scheduled_total: 0,
             cancelled_total: 0,
+            live_high_water: 0,
+            obs_next_mark: OBS_FIRST_MARK,
         }
     }
 
@@ -104,6 +113,20 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.heap.push(Entry { at, seq, event });
+        let live = self.live_len();
+        if live > self.live_high_water {
+            self.live_high_water = live;
+            if qres_obs::enabled() && live >= self.obs_next_mark {
+                while self.obs_next_mark <= live {
+                    self.obs_next_mark *= 2;
+                }
+                qres_obs::metrics::QUEUE_HIGH_WATER.observe(live as u64);
+                qres_obs::record(qres_obs::ObsEvent::QueueHighWater {
+                    t: qres_obs::sim_time(),
+                    live: live as u64,
+                });
+            }
+        }
         EventHandle(seq)
     }
 
@@ -172,6 +195,11 @@ impl<E> EventQueue<E> {
     /// Total events ever cancelled on this queue.
     pub fn cancelled_total(&self) -> u64 {
         self.cancelled_total
+    }
+
+    /// High-water mark of live (non-cancelled) pending events.
+    pub fn live_high_water(&self) -> usize {
+        self.live_high_water
     }
 }
 
@@ -259,6 +287,18 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.cancelled_total(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_live_count() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(t(f64::from(i)), i);
+        }
+        q.pop();
+        q.pop();
+        q.schedule(t(9.0), 9);
+        assert_eq!(q.live_high_water(), 5);
     }
 
     #[test]

@@ -133,7 +133,17 @@ impl<E> Simulation<E> {
             self.now = at;
             self.dispatched += 1;
             spent += 1;
-            handler.handle(at, event, &mut self.queue);
+            if qres_obs::enabled() {
+                // Publish the clock for record sites with no `now` in
+                // scope, and time the dispatch. Telemetry is passive:
+                // nothing read here feeds back into simulation state.
+                qres_obs::set_sim_time(at.as_secs());
+                let t0 = std::time::Instant::now();
+                handler.handle(at, event, &mut self.queue);
+                qres_obs::metrics::EVENT_DISPATCH_NS.record_duration(t0.elapsed());
+            } else {
+                handler.handle(at, event, &mut self.queue);
+            }
         }
     }
 }

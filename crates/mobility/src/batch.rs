@@ -92,7 +92,16 @@ pub fn batched_contribution(
     t_est: Duration,
     conns: &[ConnQuery],
 ) -> f64 {
-    SCRATCH.with(|s| batched_with_scratch(&mut s.borrow_mut(), cache, t_o, target, t_est, conns))
+    if qres_obs::enabled() {
+        let t0 = std::time::Instant::now();
+        let out = SCRATCH
+            .with(|s| batched_with_scratch(&mut s.borrow_mut(), cache, t_o, target, t_est, conns));
+        qres_obs::metrics::BATCHED_CONTRIBUTION_NS.record_duration(t0.elapsed());
+        out
+    } else {
+        SCRATCH
+            .with(|s| batched_with_scratch(&mut s.borrow_mut(), cache, t_o, target, t_est, conns))
+    }
 }
 
 fn batched_with_scratch(

@@ -228,7 +228,9 @@ fn bucket_width(window: &WindowConfig) -> f64 {
 }
 
 impl ClassStore {
-    fn record(&mut self, event: HandoffEvent, window: &WindowConfig, n_quad: usize) {
+    /// Records one event; returns how many stored quadruplets the insert
+    /// evicted (`N_quad` caps and retention pruning).
+    fn record(&mut self, event: HandoffEvent, window: &WindowConfig, n_quad: usize) -> usize {
         if let Some(last) = self.last_event_time {
             assert!(
                 event.t_event >= last,
@@ -247,12 +249,14 @@ impl ClassStore {
                     PairStore::Bucketed(BTreeMap::new())
                 }
             });
+        let mut evicted = 0usize;
         match store {
             PairStore::Recent(deque) => {
                 deque.push_back(event);
                 // Only the N_quad most recent can ever be selected.
                 while deque.len() > n_quad {
                     deque.pop_front();
+                    evicted += 1;
                 }
             }
             PairStore::Bucketed(buckets) => {
@@ -262,12 +266,15 @@ impl ClassStore {
                 bucket.push(event);
                 if bucket.len() > n_quad {
                     bucket.remove(0);
+                    evicted += 1;
                 }
                 if let Some(retention) = window.retention() {
                     let cutoff = ((event.t_event - retention).as_secs() / bw).floor() as i64;
                     while let Some((&first, _)) = buckets.iter().next() {
                         if first < cutoff {
-                            buckets.remove(&first);
+                            if let Some(gone) = buckets.remove(&first) {
+                                evicted += gone.len();
+                            }
                         } else {
                             break;
                         }
@@ -277,6 +284,7 @@ impl ClassStore {
         }
         self.dirty = true;
         self.epoch += 1;
+        evicted
     }
 
     fn snapshot_fresh(&self, t_o: SimTime, window: &WindowConfig, refresh: Duration) -> bool {
@@ -382,6 +390,8 @@ pub struct HoeCache {
     config: HoeConfig,
     weekday: ClassStore,
     weekend: ClassStore,
+    /// Owning cell id for telemetry events (`u32::MAX` = unattributed).
+    obs_owner: u32,
 }
 
 impl HoeCache {
@@ -392,7 +402,14 @@ impl HoeCache {
             config,
             weekday: ClassStore::default(),
             weekend: ClassStore::default(),
+            obs_owner: u32::MAX,
         }
+    }
+
+    /// Tags this cache with its owning cell id, used only to attribute
+    /// insert/evict telemetry events (no effect on estimation).
+    pub fn set_obs_owner(&mut self, cell: u32) {
+        self.obs_owner = cell;
     }
 
     /// The configuration.
@@ -430,7 +447,27 @@ impl HoeCache {
             DayClass::Weekday => &mut self.weekday,
             DayClass::Weekend => &mut self.weekend,
         };
-        store.record(event, &window, self.config.n_quad);
+        let obs_on = qres_obs::enabled();
+        let (prev, next, sojourn_secs) = (event.prev, event.next, event.t_soj.as_secs());
+        let evicted = store.record(event, &window, self.config.n_quad);
+        if obs_on {
+            qres_obs::metrics::HOE_INSERTS_TOTAL.add(1);
+            qres_obs::record(qres_obs::ObsEvent::HoeInsert {
+                t: qres_obs::sim_time(),
+                cell: self.obs_owner,
+                prev: prev.map_or(u32::MAX, |c| c.0),
+                next: next.0,
+                sojourn_secs,
+            });
+            if evicted > 0 {
+                qres_obs::metrics::HOE_EVICTS_TOTAL.add(evicted as u64);
+                qres_obs::record(qres_obs::ObsEvent::HoeEvict {
+                    t: qres_obs::sim_time(),
+                    cell: self.obs_owner,
+                    evicted: evicted as u32,
+                });
+            }
+        }
     }
 
     fn store_for_query(&mut self, t_o: SimTime) -> (&mut ClassStore, WindowConfig) {

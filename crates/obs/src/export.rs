@@ -1,0 +1,314 @@
+//! Exporters: Prometheus text exposition, a JSON snapshot for run
+//! reports, and an in-repo exposition-format lint used by CI (no external
+//! tooling available offline).
+
+use qres_json::Value;
+
+use crate::metrics::{counters, gauges, histograms, HistogramSnapshot};
+
+/// Renders the whole metrics registry in Prometheus text exposition
+/// format (version 0.0.4): `# HELP`/`# TYPE` pairs, cumulative
+/// `_bucket{le="..."}` series ending in `+Inf`, and `_sum`/`_count`.
+pub fn prometheus_text() -> String {
+    let mut out = String::new();
+    for c in counters() {
+        out.push_str(&format!("# HELP {} {}\n", c.name(), c.help()));
+        out.push_str(&format!("# TYPE {} counter\n", c.name()));
+        out.push_str(&format!("{} {}\n", c.name(), c.get()));
+    }
+    for g in gauges() {
+        out.push_str(&format!("# HELP {} {}\n", g.name(), g.help()));
+        out.push_str(&format!("# TYPE {} gauge\n", g.name()));
+        out.push_str(&format!("{} {}\n", g.name(), g.get()));
+    }
+    for h in histograms() {
+        let s = h.snapshot();
+        out.push_str(&format!("# HELP {} {}\n", s.name, s.help));
+        out.push_str(&format!("# TYPE {} histogram\n", s.name));
+        let mut cumulative = 0u64;
+        for &(lb, n) in &s.buckets {
+            cumulative += n;
+            // `le` is the bucket's lower bound: every sample in the bucket
+            // is >= lb, so the cumulative count up to and including this
+            // bucket is exactly the count of samples <= its upper bound;
+            // we label with the lower bound for stable, integral edges.
+            out.push_str(&format!(
+                "{}_bucket{{le=\"{}\"}} {}\n",
+                s.name,
+                crate::loglin::upper_bound(crate::loglin::bucket_index(lb)),
+                cumulative
+            ));
+        }
+        // Use the cumulative bucket total (not the count atomic) so a
+        // snapshot taken while another thread records stays self-consistent.
+        out.push_str(&format!(
+            "{}_bucket{{le=\"+Inf\"}} {}\n",
+            s.name, cumulative
+        ));
+        out.push_str(&format!("{}_sum {}\n", s.name, s.sum));
+        out.push_str(&format!("{}_count {}\n", s.name, cumulative));
+    }
+    out
+}
+
+/// A JSON object snapshot of the registry, merged into run reports by
+/// `qres-sim` and printed by the `--obs` CLI path.
+pub fn snapshot_json() -> Value {
+    let counter_fields = counters()
+        .iter()
+        .map(|c| (c.name().to_string(), Value::UInt(c.get())))
+        .collect();
+    let gauge_fields = gauges()
+        .iter()
+        .map(|g| (g.name().to_string(), Value::UInt(g.get())))
+        .collect();
+    let histo_fields = histograms()
+        .iter()
+        .map(|h| {
+            let s = h.snapshot();
+            (h.name().to_string(), histogram_json(&s))
+        })
+        .collect();
+    Value::Object(vec![
+        ("counters".to_string(), Value::Object(counter_fields)),
+        ("gauges".to_string(), Value::Object(gauge_fields)),
+        ("histograms".to_string(), Value::Object(histo_fields)),
+    ])
+}
+
+fn histogram_json(s: &HistogramSnapshot) -> Value {
+    let q = |p: f64| match s.quantile(p) {
+        Some(v) => Value::UInt(v),
+        None => Value::Null,
+    };
+    Value::Object(vec![
+        ("count".to_string(), Value::UInt(s.count)),
+        ("sum".to_string(), Value::UInt(s.sum)),
+        (
+            "mean".to_string(),
+            match s.mean() {
+                Some(m) => Value::Float(m),
+                None => Value::Null,
+            },
+        ),
+        ("p50".to_string(), q(0.5)),
+        ("p90".to_string(), q(0.9)),
+        ("p99".to_string(), q(0.99)),
+        ("max".to_string(), q(1.0)),
+    ])
+}
+
+/// Lints a Prometheus text exposition document.
+///
+/// Checks, per line: valid `# HELP` / `# TYPE` comments (known types
+/// only), metric-name syntax, label syntax, parsable sample values; and,
+/// per histogram family: `le` edges strictly increasing and cumulative
+/// counts non-decreasing, the series terminated by `+Inf`, and the `+Inf`
+/// bucket equal to `_count`. Returns the first violation as
+/// `Err("line N: ...")`.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    let mut typed: Vec<(String, String)> = Vec::new(); // (family, type)
+                                                       // Per-histogram running state: (family, last le, last cumulative, saw +Inf, inf count)
+    let mut hist: Option<(String, Option<f64>, u64, Option<u64>)> = None;
+    let mut counts: Vec<(String, u64)> = Vec::new();
+
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let payload = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {n}: bad metric name in HELP: {name:?}"));
+                    }
+                    if payload.is_empty() {
+                        return Err(format!("line {n}: HELP without text"));
+                    }
+                }
+                "TYPE" => {
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {n}: bad metric name in TYPE: {name:?}"));
+                    }
+                    if !matches!(payload, "counter" | "gauge" | "histogram" | "summary") {
+                        return Err(format!("line {n}: unknown metric type {payload:?}"));
+                    }
+                    typed.push((name.to_string(), payload.to_string()));
+                }
+                _ => return Err(format!("line {n}: unknown comment keyword {keyword:?}")),
+            }
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return Err(format!("line {n}: sample line without value")),
+        };
+        let value: f64 = match value_part {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {n}: unparsable sample value {v:?}"))?,
+        };
+        let (name, labels) = match name_part.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (name, Some(labels))
+            }
+            None => (name_part, None),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: bad metric name {name:?}"));
+        }
+        let family = family_of(name);
+        if !typed.iter().any(|(f, _)| f == family) {
+            return Err(format!("line {n}: sample for {name:?} precedes its TYPE"));
+        }
+
+        let mut le: Option<f64> = None;
+        if let Some(labels) = labels {
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {n}: malformed label {pair:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {n}: unquoted label value in {pair:?}"))?;
+                if k == "le" {
+                    le = Some(if v == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        v.parse()
+                            .map_err(|_| format!("line {n}: unparsable le {v:?}"))?
+                    });
+                }
+            }
+        }
+
+        if name.ends_with("_bucket") {
+            let le = le.ok_or_else(|| format!("line {n}: histogram bucket without le"))?;
+            let cumulative = value as u64;
+            match &mut hist {
+                Some((fam, last_le, last_cum, inf)) if fam == family => {
+                    if let Some(prev) = last_le {
+                        if le <= *prev {
+                            return Err(format!("line {n}: le edges not increasing in {family}"));
+                        }
+                    }
+                    if cumulative < *last_cum {
+                        return Err(format!("line {n}: cumulative count decreased in {family}"));
+                    }
+                    *last_le = Some(le);
+                    *last_cum = cumulative;
+                    if le.is_infinite() {
+                        *inf = Some(cumulative);
+                    }
+                }
+                _ => {
+                    finish_histogram(&hist, &counts)?;
+                    hist = Some((
+                        family.to_string(),
+                        Some(le),
+                        cumulative,
+                        le.is_infinite().then_some(cumulative),
+                    ));
+                }
+            }
+        } else if let Some(fam) = name.strip_suffix("_count") {
+            counts.push((fam.to_string(), value as u64));
+        }
+    }
+    finish_histogram(&hist, &counts)?;
+    Ok(())
+}
+
+fn finish_histogram(
+    hist: &Option<(String, Option<f64>, u64, Option<u64>)>,
+    counts: &[(String, u64)],
+) -> Result<(), String> {
+    if let Some((family, _, _, inf)) = hist {
+        let inf = inf.ok_or_else(|| format!("histogram {family} has no +Inf bucket"))?;
+        if let Some((_, c)) = counts.iter().find(|(f, _)| f == family) {
+            if *c != inf {
+                return Err(format!(
+                    "histogram {family}: +Inf bucket {inf} != _count {c}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ADMISSION_TEST_NS;
+
+    #[test]
+    fn exposition_passes_own_lint() {
+        // Other obs tests may bump counters concurrently; recording here
+        // only makes the document richer, never invalid.
+        ADMISSION_TEST_NS.record(100);
+        ADMISSION_TEST_NS.record(5_000);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE qres_admission_test_ns histogram"));
+        assert!(text.contains("qres_backbone_msgs_total"));
+        assert!(text.contains("le=\"+Inf\""));
+        validate_prometheus_text(&text).expect("own exposition must lint clean");
+    }
+
+    #[test]
+    fn lint_rejects_malformed_documents() {
+        assert!(validate_prometheus_text("метрика 1\n").is_err());
+        assert!(validate_prometheus_text("# FOO x y\n").is_err());
+        assert!(validate_prometheus_text("x_total 1\n").is_err(), "no TYPE");
+        let missing_inf =
+            "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(validate_prometheus_text(missing_inf).is_err());
+        let bad_order = "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n";
+        assert!(validate_prometheus_text(bad_order).is_err());
+        let count_mismatch =
+            "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n";
+        assert!(validate_prometheus_text(count_mismatch).is_err());
+        let good = "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n";
+        validate_prometheus_text(good).unwrap();
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let v = snapshot_json();
+        let Value::Object(fields) = v else {
+            panic!("snapshot must be an object")
+        };
+        let keys: Vec<_> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["counters", "gauges", "histograms"]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # qres-obs — observability for the hand-off reservation stack
+//!
+//! A zero-dependency (beyond `qres-json`) telemetry layer threaded through
+//! every crate in the workspace:
+//!
+//! * [`event`] / [`recorder`] — a level-filtered, fixed-capacity ring
+//!   buffer of typed structured events ([`ObsEvent`]): admission
+//!   decisions, `B_r` recompute-vs-memo accounting, `T_est` window moves,
+//!   HOE quadruplet insert/evict, DES queue high-water marks, and
+//!   backbone message sends — each carrying sim-time and cell id, and
+//!   drainable to JSONL.
+//! * [`metrics`] — a registry of `const`-constructible atomic counters,
+//!   max-gauges, and log-linear timing histograms over the hot paths:
+//!   admission tests, batched Eq.-4 sweeps, `compute_br` memo hits vs.
+//!   misses, event dispatch, sweep points.
+//! * [`export`] — Prometheus text exposition, a JSON snapshot merged into
+//!   `qres-sim` run reports, and an in-repo exposition lint for CI.
+//! * [`loglin`] — the shared log-linear bucket layout (16 sub-buckets per
+//!   octave, ≤ 6.25% relative error), also reused by
+//!   `qres_stats::LogLinearHistogram`.
+//!
+//! ## Overhead contract
+//!
+//! Telemetry is off by default. Every instrumentation site is gated on
+//! [`enabled`] — a single relaxed atomic load plus a branch — and takes no
+//! wall-clock timestamps, allocates nothing, and touches no locks until
+//! switched on with [`set_level`]. The `obs_overhead` benchmark in
+//! `qres-bench` holds the disabled end-to-end cost under 2%.
+//!
+//! ## Determinism contract
+//!
+//! The recorder is strictly passive: wall-clock readings feed histograms
+//! only, and event recording never feeds back into simulation state, so
+//! enabling telemetry cannot change `P_CB`/`P_HD`/`N_calc`
+//! (`tests/determinism.rs` asserts this).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod export;
+pub mod loglin;
+pub mod metrics;
+pub mod recorder;
+
+pub use event::{events_to_jsonl, ObsEvent};
+pub use export::{prometheus_text, snapshot_json, validate_prometheus_text};
+pub use metrics::{reset_metrics, AtomicHistogram, Counter, HistogramSnapshot, MaxGauge};
+pub use recorder::{
+    clear_spill, drain_events, enabled, enabled_at, flush_spill, level, record, reset,
+    set_capacity, set_level, set_sim_time, set_spill_path, sim_time, Level,
+};

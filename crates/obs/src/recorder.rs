@@ -1,0 +1,283 @@
+//! Global recorder state: level gate, sim-time mirror, and the
+//! fixed-capacity event ring buffer.
+//!
+//! Everything is process-global so instrumentation sites in any crate can
+//! reach it without plumbing handles through constructors. The disabled
+//! path is exactly one relaxed atomic load and a branch ([`enabled`]);
+//! nothing else runs until telemetry is switched on.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use crate::event::{events_to_jsonl, ObsEvent};
+use crate::metrics::{EVENTS_DROPPED_TOTAL, EVENTS_RECORDED_TOTAL};
+
+/// Recorder verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Telemetry off — the instrumented code paths reduce to one atomic
+    /// load and a branch.
+    Off = 0,
+    /// Decision-grade events only (admission, `T_est`, queue high-water).
+    Info = 1,
+    /// Everything, including per-`B_r`-computation and per-message events.
+    Debug = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Mirror of the simulation clock (f64 seconds stored as bits), written by
+/// the DES dispatch loop when telemetry is on. Gives instrumentation sites
+/// that have no `now` in scope (backbone sends, HOE inserts) a timestamp.
+/// Parallel sweeps interleave writes here; the jitter only affects event
+/// timestamps, never simulation state.
+static SIM_TIME_BITS: AtomicU64 = AtomicU64::new(0);
+
+/// Default event ring capacity.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+struct Ring {
+    buf: Vec<ObsEvent>,
+    /// Index of the oldest event once the buffer has wrapped.
+    start: usize,
+    dropped: u64,
+    cap: usize,
+    /// When set, a full ring spills to this JSONL file instead of
+    /// overwriting its oldest events — guaranteeing a complete stream.
+    spill: Option<File>,
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring {
+    buf: Vec::new(),
+    start: 0,
+    dropped: 0,
+    cap: DEFAULT_CAPACITY,
+    spill: None,
+});
+
+/// Sets the recorder level. `Level::Off` disables all instrumentation.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current recorder level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// True when telemetry is on at any level. This is the hot-path gate: one
+/// relaxed load plus a branch.
+#[inline(always)]
+pub fn enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) != 0
+}
+
+/// True when events at `at` would be recorded.
+#[inline]
+pub fn enabled_at(at: Level) -> bool {
+    LEVEL.load(Ordering::Relaxed) >= at as u8
+}
+
+/// Publishes the simulation clock (seconds) for time-less record sites.
+#[inline]
+pub fn set_sim_time(secs: f64) {
+    SIM_TIME_BITS.store(secs.to_bits(), Ordering::Relaxed);
+}
+
+/// The last published simulation time (seconds).
+#[inline]
+pub fn sim_time() -> f64 {
+    f64::from_bits(SIM_TIME_BITS.load(Ordering::Relaxed))
+}
+
+/// Records an event if the current level admits it.
+///
+/// When the ring is full: with a spill file configured the buffered events
+/// are flushed to it as JSONL and the ring cleared; otherwise the oldest
+/// event is overwritten and the dropped counter bumped.
+pub fn record(event: ObsEvent) {
+    if !enabled_at(event.level()) {
+        return;
+    }
+    EVENTS_RECORDED_TOTAL.add(1);
+    let mut ring = RING.lock().unwrap();
+    if ring.buf.len() >= ring.cap {
+        if ring.spill.is_some() {
+            spill_locked(&mut ring);
+        } else {
+            let at = ring.start;
+            ring.buf[at] = event;
+            ring.start = (ring.start + 1) % ring.cap;
+            ring.dropped += 1;
+            EVENTS_DROPPED_TOTAL.add(1);
+            return;
+        }
+    }
+    ring.buf.push(event);
+}
+
+fn spill_locked(ring: &mut Ring) {
+    let events = take_ordered(ring);
+    if let Some(file) = ring.spill.as_mut() {
+        let _ = file.write_all(events_to_jsonl(&events).as_bytes());
+    }
+}
+
+fn take_ordered(ring: &mut Ring) -> Vec<ObsEvent> {
+    let mut events = std::mem::take(&mut ring.buf);
+    let pivot = ring.start.min(events.len());
+    events.rotate_left(pivot);
+    ring.start = 0;
+    events
+}
+
+/// Removes and returns all buffered events, oldest first, together with
+/// the count of events lost to ring overwrites since the last [`reset`].
+pub fn drain_events() -> (Vec<ObsEvent>, u64) {
+    let mut ring = RING.lock().unwrap();
+    let events = take_ordered(&mut ring);
+    (events, ring.dropped)
+}
+
+/// Sets the event ring capacity (existing buffered events are kept up to
+/// the new capacity's worth, oldest dropped first).
+pub fn set_capacity(cap: usize) {
+    assert!(cap > 0, "ring capacity must be positive");
+    let mut ring = RING.lock().unwrap();
+    let mut events = take_ordered(&mut ring);
+    if events.len() > cap {
+        events.drain(..events.len() - cap);
+    }
+    ring.buf = events;
+    ring.cap = cap;
+}
+
+/// Routes ring overflow to a JSONL spill file (created/truncated now).
+/// Call [`flush_spill`] at end of run to write the tail of the stream.
+pub fn set_spill_path(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    RING.lock().unwrap().spill = Some(file);
+    Ok(())
+}
+
+/// Writes any buffered events to the spill file (no-op without one) and
+/// returns how many were written.
+pub fn flush_spill() -> usize {
+    let mut ring = RING.lock().unwrap();
+    if ring.spill.is_none() {
+        return 0;
+    }
+    let n = ring.buf.len();
+    spill_locked(&mut ring);
+    n
+}
+
+/// Detaches the spill file (flushing it first).
+pub fn clear_spill() {
+    let mut ring = RING.lock().unwrap();
+    if ring.spill.is_some() {
+        spill_locked(&mut ring);
+    }
+    ring.spill = None;
+}
+
+/// Clears all buffered events, the dropped counter, and the spill file
+/// handle. Does not touch the level or the metrics registry.
+pub fn reset() {
+    let mut ring = RING.lock().unwrap();
+    ring.buf.clear();
+    ring.start = 0;
+    ring.dropped = 0;
+    ring.spill = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global state forces the recorder tests through one serial body.
+    #[test]
+    fn recorder_lifecycle() {
+        lifecycle();
+        spill_file_keeps_complete_stream();
+    }
+
+    fn lifecycle() {
+        reset();
+        set_level(Level::Off);
+        assert!(!enabled());
+        record(ObsEvent::QueueHighWater { t: 0.0, live: 1 });
+        assert!(drain_events().0.is_empty(), "off level must record nothing");
+
+        set_level(Level::Info);
+        assert!(enabled());
+        assert!(enabled_at(Level::Info));
+        assert!(!enabled_at(Level::Debug));
+        record(ObsEvent::QueueHighWater { t: 1.0, live: 2 });
+        record(ObsEvent::BrCompute {
+            t: 1.0,
+            cell: 0,
+            memo_hits: 0,
+            recomputed: 1,
+            br: 0.0,
+        });
+        let (events, dropped) = drain_events();
+        assert_eq!(events.len(), 1, "debug event must be filtered at info");
+        assert_eq!(dropped, 0);
+
+        set_level(Level::Debug);
+        set_capacity(4);
+        for i in 0..6u32 {
+            record(ObsEvent::QueueHighWater {
+                t: f64::from(i),
+                live: u64::from(i),
+            });
+        }
+        let (events, dropped) = drain_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 2);
+        // Oldest-first order after wrap.
+        assert_eq!(events[0].time(), 2.0);
+        assert_eq!(events[3].time(), 5.0);
+
+        set_sim_time(12.5);
+        assert_eq!(sim_time(), 12.5);
+
+        set_capacity(DEFAULT_CAPACITY);
+        set_level(Level::Off);
+        reset();
+    }
+
+    fn spill_file_keeps_complete_stream() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("qres_obs_spill_{}.jsonl", std::process::id()));
+        {
+            reset();
+            set_level(Level::Debug);
+            set_capacity(3);
+            set_spill_path(&path).unwrap();
+            for i in 0..8 {
+                record(ObsEvent::QueueHighWater {
+                    t: f64::from(i),
+                    live: 1,
+                });
+            }
+            assert!(flush_spill() > 0);
+            clear_spill();
+            set_capacity(DEFAULT_CAPACITY);
+            set_level(Level::Off);
+            reset();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 8, "no events may be lost via spill");
+        let _ = std::fs::remove_file(&path);
+    }
+}

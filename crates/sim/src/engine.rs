@@ -357,6 +357,9 @@ impl Engine {
                 handoff_handle: Some(handoff_handle),
             },
         );
+        if qres_obs::enabled() {
+            qres_obs::metrics::ACTIVE_MOBILES.observe(self.mobiles.len() as u64);
+        }
     }
 
     /// Updates `B_r` metrics after an admission test in `cell`: the test

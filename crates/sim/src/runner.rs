@@ -42,9 +42,14 @@ fn sweep_point(base: &Scenario, load: f64) -> SweepPoint {
         .clone()
         .offered_load(load)
         .seed(base.seed.wrapping_add((load * 1_000.0) as u64));
+    let obs_t0 = qres_obs::enabled().then(std::time::Instant::now);
+    let result = run_scenario(&scenario);
+    if let Some(t0) = obs_t0 {
+        qres_obs::metrics::SWEEP_POINT_NS.record_duration(t0.elapsed());
+    }
     SweepPoint {
         offered_load: load,
-        result: run_scenario(&scenario),
+        result,
     }
 }
 

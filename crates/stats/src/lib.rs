@@ -13,7 +13,8 @@
 //! * **time series** — Figs. 10, 11, 14 plot signals against time
 //!   ([`TimeSeries`]) or aggregate them per hourly bucket ([`HourlyBuckets`]);
 //! * **distributions** — sojourn-time footprints (Fig. 4) are histograms
-//!   ([`Histogram`]).
+//!   ([`Histogram`]); long-tailed wall-clock timings from the telemetry
+//!   layer use log-linear buckets ([`LogLinearHistogram`]).
 //!
 //! All estimators are plain accumulators: no interior mutability, no
 //! background threads, deterministic results.
@@ -23,6 +24,7 @@
 
 pub mod buckets;
 pub mod histogram;
+pub mod loglinear;
 pub mod ratio;
 pub mod series;
 pub mod timeweighted;
@@ -30,6 +32,7 @@ pub mod welford;
 
 pub use buckets::HourlyBuckets;
 pub use histogram::Histogram;
+pub use loglinear::LogLinearHistogram;
 pub use ratio::RatioCounter;
 pub use series::TimeSeries;
 pub use timeweighted::TimeWeighted;

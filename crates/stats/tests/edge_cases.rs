@@ -1,0 +1,157 @@
+//! Degenerate-input coverage for the estimators plus randomized property
+//! tests of the log-linear histogram. (Seeded-RNG loops stand in for
+//! proptest, which is unavailable offline.)
+
+use qres_des::{SimTime, StreamRng};
+use qres_stats::{HourlyBuckets, LogLinearHistogram, TimeWeighted};
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// A zero-duration run has no time-weighted mean, but min/max/current are
+/// still defined by the initial value.
+#[test]
+fn time_weighted_zero_duration_run() {
+    let tw = TimeWeighted::new(t(50.0), 3.0);
+    assert_eq!(tw.mean(t(50.0)), None);
+    assert_eq!(tw.current(), 3.0);
+    assert_eq!(tw.min(), 3.0);
+    assert_eq!(tw.max(), 3.0);
+    assert_eq!(tw.updates(), 0);
+}
+
+/// Updates at the start instant give the superseded values zero weight;
+/// the mean over any later span is the surviving value.
+#[test]
+fn time_weighted_all_updates_at_start_instant() {
+    let mut tw = TimeWeighted::new(t(0.0), 1.0);
+    tw.update(t(0.0), 100.0);
+    tw.update(t(0.0), 7.0);
+    assert_eq!(tw.mean(t(0.0)), None);
+    assert_eq!(tw.mean(t(4.0)), Some(7.0));
+    assert_eq!(tw.min(), 1.0);
+    assert_eq!(tw.max(), 100.0);
+}
+
+/// An empty hourly accumulator yields an empty midpoint series and a
+/// zero-filled series of the configured width.
+#[test]
+fn hourly_buckets_empty_run() {
+    let b = HourlyBuckets::new("p_cb", 24);
+    assert_eq!(b.midpoint_series(), vec![]);
+    assert_eq!(b.midpoint_series_zero_filled().len(), 24);
+    assert!(b
+        .midpoint_series_zero_filled()
+        .iter()
+        .all(|&(_, r)| r == 0.0));
+}
+
+/// Zero-hour coverage is degenerate but must not panic: every event falls
+/// beyond the horizon and is dropped.
+#[test]
+fn hourly_buckets_zero_hours() {
+    let mut b = HourlyBuckets::new("p_hd", 0);
+    b.record(t(10.0), true);
+    assert_eq!(b.hours(), 0);
+    assert_eq!(b.midpoint_series(), vec![]);
+    assert_eq!(b.midpoint_series_zero_filled(), vec![]);
+}
+
+fn random_samples(rng: &mut StreamRng, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            // Mix magnitudes: exact range, mid octaves, and the deep tail.
+            let octave = rng.gen_range(0usize..60);
+            rng.next_u64() >> octave
+        })
+        .collect()
+}
+
+/// The CDF is non-decreasing in `v` and reaches the total count.
+#[test]
+fn loglinear_cdf_is_monotone() {
+    let mut rng = StreamRng::seed_from_u64(0xE571_1001);
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..200);
+        let mut h = LogLinearHistogram::new();
+        for v in random_samples(&mut rng, n) {
+            h.add(v);
+        }
+        let probes: Vec<u64> = (0..40).map(|_| rng.next_u64()).collect();
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let mut prev = 0u64;
+        for v in sorted {
+            let c = h.cdf_count(v);
+            assert!(c >= prev, "CDF decreased at {v}");
+            prev = c;
+        }
+        assert_eq!(h.cdf_count(u64::MAX), h.count());
+    }
+}
+
+/// `value_at_quantile` brackets the true sample quantile: the exact
+/// `ceil(q*n)`-th order statistic lies inside the returned bucket.
+#[test]
+fn loglinear_quantiles_bracket_order_statistics() {
+    let mut rng = StreamRng::seed_from_u64(0xE571_1002);
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..150);
+        let samples = random_samples(&mut rng, n);
+        let mut h = LogLinearHistogram::new();
+        for &v in &samples {
+            h.add(v);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = h.value_at_quantile(q).unwrap();
+            assert!(
+                approx <= exact && exact <= LogLinearHistogram::bucket_upper_bound(approx),
+                "q={q}: {exact} outside bucket [{approx}, {}]",
+                LogLinearHistogram::bucket_upper_bound(approx)
+            );
+        }
+    }
+}
+
+/// Merging in any grouping/order equals ingesting the combined stream:
+/// (a ∪ b) ∪ c == a ∪ (b ∪ c) == one histogram over everything.
+#[test]
+fn loglinear_merge_is_associative() {
+    let mut rng = StreamRng::seed_from_u64(0xE571_1003);
+    for _ in 0..200 {
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| {
+                let n = rng.gen_range(0usize..60);
+                random_samples(&mut rng, n)
+            })
+            .collect();
+        let hist = |vs: &[u64]| {
+            let mut h = LogLinearHistogram::new();
+            for &v in vs {
+                h.add(v);
+            }
+            h
+        };
+        let (a, b, c) = (hist(&parts[0]), hist(&parts[1]), hist(&parts[2]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        let all: Vec<u64> = parts.concat();
+        let whole = hist(&all);
+        assert_eq!(left, right);
+        assert_eq!(left, whole);
+        // Merging an empty histogram is the identity.
+        let mut id = whole.clone();
+        id.merge(&LogLinearHistogram::new());
+        assert_eq!(id, whole);
+    }
+}

@@ -1,23 +1,26 @@
 #!/bin/bash
 # Runs the perf-tracking micro-benchmarks and writes a JSON snapshot
-# (default BENCH_02.json): the `reservation_b_i0` batched-vs-naive pairs at
-# populations 10/50/100/200, and the end-to-end sweep wall-clock over the
-# paper's 10-point load grid (parallel and sequential runners).
+# (default BENCH_03.json): the `reservation_b_i0` batched-vs-naive pairs at
+# populations 10/50/100/200, the end-to-end sweep wall-clock over the
+# paper's 10-point load grid (parallel and sequential runners), and the
+# telemetry overhead pair (`obs_overhead/disabled` vs `enabled`).
 #
 # Each qres-microbench harness prints machine-readable `BENCH {...}` lines;
-# this script collects them, adds the batched/naive speedup summary, and
-# emits one JSON document to start (and later compare along) the perf
-# trajectory.
+# this script collects them, adds the batched/naive speedup summary and the
+# obs enabled-vs-disabled delta, and emits one JSON document to compare
+# along the perf trajectory. The disabled-telemetry delta is the PR 3
+# acceptance number: it must stay under 2%.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_02.json}"
+out="${1:-BENCH_03.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 cargo bench -q -p qres-bench --bench reservation reservation_b_i0 2>&1 | tee -a "$raw"
 cargo bench -q -p qres-bench --bench end_to_end sweep_10pt_grid 2>&1 | tee -a "$raw"
+cargo bench -q -p qres-bench --bench obs_overhead obs_overhead 2>&1 | tee -a "$raw"
 
 python3 - "$raw" "$out" <<'PY'
 import json, sys
@@ -37,13 +40,25 @@ for pop in (10, 50, 100, 200):
     if batched and naive:
         speedups[str(pop)] = round(naive["ns_per_iter"] / batched["ns_per_iter"], 2)
 
+obs = {}
+disabled = by_id.get("obs_overhead/disabled")
+enabled = by_id.get("obs_overhead/enabled")
+if disabled and enabled:
+    d, e = disabled["ns_per_iter"], enabled["ns_per_iter"]
+    obs = {
+        "disabled_ns_per_iter": d,
+        "enabled_ns_per_iter": e,
+        "overhead_pct": round((e - d) / d * 100.0, 2),
+    }
+
 doc = {
-    "suite": "qres perf snapshot 02",
+    "suite": "qres perf snapshot 03",
     "benchmarks": entries,
     "b_i0_speedup_batched_over_naive": speedups,
+    "obs_overhead": obs,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
-print(f"wrote {out_path}: {len(entries)} benchmarks, speedups {speedups}")
+print(f"wrote {out_path}: {len(entries)} benchmarks, speedups {speedups}, obs {obs}")
 PY

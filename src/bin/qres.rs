@@ -2,20 +2,35 @@
 //!
 //! ```text
 //! qres template [stationary|time-varying|wired]   print a scenario template
-//! qres run <scenario.json> [--json]               run one scenario
-//! qres sweep <scenario.json> --loads 60,120,300   offered-load sweep
+//! qres run <scenario.json> [--json] [--obs]       run one scenario
+//! qres sweep <scenario.json> --loads 60,120,300 [--obs]
+//! qres obslint <snapshot.prom>                    lint a Prometheus snapshot
+//! qres obscheck <events.jsonl> [--all-types]      check an event stream
 //! ```
 //!
 //! A scenario file is the JSON form of [`qres::sim::Scenario`]; start from
 //! `qres template`, edit, run. `--json` emits the full
 //! [`qres::sim::RunResult`] (per-cell summaries, traces, hourly series)
 //! for downstream tooling.
+//!
+//! `--obs` switches on the telemetry recorder at debug level for the run
+//! and writes `obs_snapshot.prom` (Prometheus text exposition) and
+//! `obs_events.jsonl` (the structured event stream) into the working
+//! directory; with `--json` the telemetry snapshot is also merged into the
+//! report under an `"obs"` key. `obslint` and `obscheck` validate those
+//! two artifacts — CI runs them against a short `--obs` smoke simulation.
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use qres::sim::report::{cell_status_table, SeriesTable};
+use qres::sim::report::{cell_status_table, result_with_obs_json, SeriesTable};
 use qres::sim::scenario::WiredConfig;
 use qres::sim::{run_scenario, Scenario, SchemeKind, TimeVaryingConfig};
+
+/// Prometheus snapshot written by `--obs`.
+const OBS_PROM_PATH: &str = "obs_snapshot.prom";
+/// JSONL event stream written by `--obs`.
+const OBS_JSONL_PATH: &str = "obs_events.jsonl";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,11 +38,15 @@ fn main() -> ExitCode {
         Some("template") => template(args.get(1).map(String::as_str)),
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("obslint") => obslint(&args[1..]),
+        Some("obscheck") => obscheck(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  qres template [stationary|time-varying|wired]\n  \
-                 qres run <scenario.json> [--json]\n  \
-                 qres sweep <scenario.json> --loads 60,120,300"
+                 qres run <scenario.json> [--json] [--obs]\n  \
+                 qres sweep <scenario.json> --loads 60,120,300 [--obs]\n  \
+                 qres obslint <snapshot.prom>\n  \
+                 qres obscheck <events.jsonl> [--all-types]"
             );
             ExitCode::from(2)
         }
@@ -61,12 +80,44 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
     Ok(scenario)
 }
 
+/// Handles `--obs`: switches the recorder on at debug level and routes
+/// ring overflow to [`OBS_JSONL_PATH`] so the event stream stays complete.
+/// Returns whether telemetry is on for this invocation.
+fn obs_setup(args: &[String]) -> Result<bool, String> {
+    if !args.iter().any(|a| a == "--obs") {
+        return Ok(false);
+    }
+    qres::obs::set_level(qres::obs::Level::Debug);
+    qres::obs::set_spill_path(Path::new(OBS_JSONL_PATH))
+        .map_err(|e| format!("cannot create {OBS_JSONL_PATH}: {e}"))?;
+    Ok(true)
+}
+
+/// Flushes buffered events to [`OBS_JSONL_PATH`] and writes the Prometheus
+/// exposition to [`OBS_PROM_PATH`].
+fn obs_finish(quiet: bool) -> Result<(), String> {
+    qres::obs::flush_spill();
+    std::fs::write(OBS_PROM_PATH, qres::obs::prometheus_text())
+        .map_err(|e| format!("cannot write {OBS_PROM_PATH}: {e}"))?;
+    if !quiet {
+        println!("[obs] snapshot -> {OBS_PROM_PATH}, events -> {OBS_JSONL_PATH}");
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
-        eprintln!("qres run <scenario.json> [--json]");
+        eprintln!("qres run <scenario.json> [--json] [--obs]");
         return ExitCode::from(2);
     };
     let as_json = args.iter().any(|a| a == "--json");
+    let obs = match obs_setup(args) {
+        Ok(on) => on,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let scenario = match load_scenario(path) {
         Ok(s) => s,
         Err(e) => {
@@ -76,7 +127,14 @@ fn run(args: &[String]) -> ExitCode {
     };
     let result = run_scenario(&scenario);
     if as_json {
-        println!("{}", qres_json::to_string_pretty(&result));
+        if obs {
+            println!(
+                "{}",
+                qres_json::to_string_pretty(&result_with_obs_json(&result))
+            );
+        } else {
+            println!("{}", qres_json::to_string_pretty(&result));
+        }
     } else {
         print!("{}", cell_status_table(&result));
         println!(
@@ -84,13 +142,26 @@ fn run(args: &[String]) -> ExitCode {
             result.events_dispatched, result.duration_secs
         );
     }
+    if obs {
+        if let Err(e) = obs_finish(as_json) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn sweep(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
-        eprintln!("qres sweep <scenario.json> --loads 60,120,300");
+        eprintln!("qres sweep <scenario.json> --loads 60,120,300 [--obs]");
         return ExitCode::from(2);
+    };
+    let obs = match obs_setup(args) {
+        Ok(on) => on,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
     let loads: Vec<f64> = match args.iter().position(|a| a == "--loads") {
         Some(i) => match args.get(i + 1) {
@@ -143,5 +214,115 @@ fn sweep(args: &[String]) -> ExitCode {
         );
     }
     print!("{}", table.render());
+    if obs {
+        if let Err(e) = obs_finish(false) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Lints a Prometheus text-exposition file against the in-repo format
+/// checker ([`qres::obs::validate_prometheus_text`]).
+fn obslint(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("qres obslint <snapshot.prom>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match qres::obs::validate_prometheus_text(&text) {
+        Ok(()) => {
+            println!("{path}: ok ({} lines)", text.lines().count());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The event-type groups `obscheck --all-types` requires. HOE insert and
+/// evict share a group: evictions only happen on runs long enough to age
+/// quadruplets out, which a smoke run need not be.
+const OBS_REQUIRED_GROUPS: [&[&str]; 6] = [
+    &["admission"],
+    &["br_compute"],
+    &["t_est_change"],
+    &["hoe_insert", "hoe_evict"],
+    &["queue_high_water"],
+    &["backbone_send"],
+];
+
+/// Checks that every line of an `--obs` event stream parses back through
+/// `qres-json` as an object tagged with `"type"` and stamped with `"t"`.
+/// With `--all-types`, additionally requires every event group of
+/// [`OBS_REQUIRED_GROUPS`] to appear at least once.
+fn obscheck(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("qres obscheck <events.jsonl> [--all-types]");
+        return ExitCode::from(2);
+    };
+    let all_types = args.iter().any(|a| a == "--all-types");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    let mut total = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let value = match qres_json::Value::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}:{}: not valid JSON: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let qres_json::Value::Object(fields) = value else {
+            eprintln!("{path}:{}: event is not a JSON object", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let Some((_, qres_json::Value::Str(tag))) = fields.iter().find(|(k, _)| k == "type") else {
+            eprintln!("{path}:{}: event has no string \"type\" field", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        if !fields.iter().any(|(k, _)| k == "t") {
+            eprintln!("{path}:{}: event has no \"t\" timestamp", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        match counts.iter_mut().find(|(k, _)| k == tag) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((tag.clone(), 1)),
+        }
+        total += 1;
+    }
+    if total == 0 {
+        eprintln!("{path}: no events");
+        return ExitCode::FAILURE;
+    }
+    if all_types {
+        for group in OBS_REQUIRED_GROUPS {
+            if !group.iter().any(|t| counts.iter().any(|(k, _)| k == t)) {
+                eprintln!("{path}: no event of type {}", group.join(" or "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    counts.sort();
+    let summary: Vec<String> = counts.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!("{path}: ok ({total} events: {})", summary.join(" "));
     ExitCode::SUCCESS
 }

@@ -16,7 +16,9 @@
 //!   adaptive estimation-window control, admission control AC1/AC2/AC3 and
 //!   the static-reservation baseline;
 //! * [`sim`] — the full simulator, workload generators, scenarios and the
-//!   experiment runner that regenerates every figure and table.
+//!   experiment runner that regenerates every figure and table;
+//! * [`obs`] — the telemetry layer: structured event tracing, hot-path
+//!   timing histograms, Prometheus/JSON exporters (off by default).
 //!
 //! ## Quickstart
 //!
@@ -37,5 +39,6 @@ pub use qres_cellnet as cellnet;
 pub use qres_core as core;
 pub use qres_des as des;
 pub use qres_mobility as mobility;
+pub use qres_obs as obs;
 pub use qres_sim as sim;
 pub use qres_stats as stats;

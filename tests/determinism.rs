@@ -66,6 +66,39 @@ fn workload_is_scheme_independent() {
     assert_ne!(results[0].system_cb.hits(), results[3].system_cb.hits());
 }
 
+/// The telemetry recorder is strictly passive: enabling it at the most
+/// verbose level changes no simulation outcome. Every metric of the paper
+/// comes out bit-identical with the recorder on and off.
+#[test]
+fn recorder_does_not_perturb_outcomes() {
+    let s = Scenario::paper_baseline()
+        .scheme(SchemeKind::Ac3)
+        .offered_load(250.0)
+        .duration_secs(600.0)
+        .seed(77);
+    qres::obs::set_level(qres::obs::Level::Off);
+    let off = run_scenario(&s);
+    qres::obs::set_level(qres::obs::Level::Debug);
+    let on = run_scenario(&s);
+    qres::obs::set_level(qres::obs::Level::Off);
+    let (events, _) = qres::obs::drain_events();
+    qres::obs::reset();
+    qres::obs::reset_metrics();
+    assert!(!events.is_empty(), "debug level should record events");
+    assert_eq!(off.system_cb, on.system_cb);
+    assert_eq!(off.system_hd, on.system_hd);
+    assert_eq!(off.events_dispatched, on.events_dispatched);
+    assert_eq!(off.n_calc_mean, on.n_calc_mean);
+    assert_eq!(off.signaling, on.signaling);
+    for (a, b) in off.cells.iter().zip(&on.cells) {
+        assert_eq!(a.p_cb, b.p_cb);
+        assert_eq!(a.p_hd, b.p_hd);
+        assert_eq!(a.b_r_final, b.b_r_final);
+        assert_eq!(a.b_u_final, b.b_u_final);
+        assert_eq!(a.t_est_secs, b.t_est_secs);
+    }
+}
+
 /// Determinism holds in the time-varying mode too (retry coin flips are a
 /// seeded stream).
 #[test]

@@ -1,0 +1,69 @@
+//! End-to-end telemetry smoke test: one obs-enabled high-load AC3 run must
+//! produce every event group, a lint-clean Prometheus exposition, and a
+//! JSONL stream that parses back through `qres-json`.
+
+use qres::obs;
+
+#[test]
+fn obs_enabled_run_covers_all_event_groups() {
+    // Large enough that a short run cannot overwrite early events (the
+    // queue high-water marks fire in the warm-up).
+    obs::set_capacity(1 << 20);
+    obs::set_level(obs::Level::Debug);
+    let r = qres::sim::run_scenario(
+        &qres::sim::Scenario::paper_baseline()
+            .scheme(qres::sim::SchemeKind::Ac3)
+            .offered_load(300.0)
+            .duration_secs(300.0)
+            .seed(11),
+    );
+    obs::set_level(obs::Level::Off);
+    let (events, dropped) = obs::drain_events();
+    let prom = obs::prometheus_text();
+    let snapshot = obs::snapshot_json();
+    obs::reset();
+    obs::reset_metrics();
+
+    assert!(r.events_dispatched > 0);
+    assert_eq!(dropped, 0, "capacity must hold the whole stream");
+    assert!(!events.is_empty());
+
+    // All six event groups of DESIGN.md §10 appear (HOE insert/evict share
+    // a group: evictions need long runs).
+    let has = |tags: &[&str]| events.iter().any(|e| tags.contains(&e.type_tag()));
+    assert!(has(&["admission"]), "no admission events");
+    assert!(has(&["br_compute"]), "no B_r compute events");
+    assert!(has(&["t_est_change"]), "no T_est window events");
+    assert!(has(&["hoe_insert", "hoe_evict"]), "no HOE cache events");
+    assert!(has(&["queue_high_water"]), "no DES queue events");
+    assert!(has(&["backbone_send"]), "no backbone signaling events");
+
+    // The exposition passes the in-repo lint and carries the hot-path
+    // histograms.
+    obs::validate_prometheus_text(&prom).expect("exposition must lint clean");
+    assert!(prom.contains("qres_admission_test_ns_bucket"));
+    assert!(prom.contains("qres_event_dispatch_ns_count"));
+    assert!(prom.contains("qres_backbone_msgs_total"));
+
+    // Every JSONL line round-trips through qres-json as a tagged object.
+    let jsonl = obs::events_to_jsonl(&events);
+    let mut lines = 0usize;
+    for line in jsonl.lines() {
+        let qres_json::Value::Object(fields) =
+            qres_json::Value::parse(line).expect("event line must be valid JSON")
+        else {
+            panic!("event line must be an object");
+        };
+        assert!(fields.iter().any(|(k, _)| k == "type"));
+        assert!(fields.iter().any(|(k, _)| k == "t"));
+        lines += 1;
+    }
+    assert_eq!(lines, events.len());
+
+    // The JSON snapshot has the three exporter sections.
+    let qres_json::Value::Object(sections) = snapshot else {
+        panic!("snapshot must be an object");
+    };
+    let keys: Vec<&str> = sections.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["counters", "gauges", "histograms"]);
+}
