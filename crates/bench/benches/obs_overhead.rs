@@ -7,9 +7,23 @@
 //! 2% of the pre-observability end-to-end baseline
 //! (`end_to_end_100s/ac3_L150` of BENCH_02). `scripts/bench_snapshot.sh`
 //! computes the enabled-vs-disabled delta into `BENCH_03.json`.
+//!
+//! The enabled case additionally reports the p99 of the hot-path timing
+//! histograms populated during the run (`qres_admission_test_ns`,
+//! `qres_br_compute_ns`) as extra `BENCH {...}` lines, in the same format
+//! the harness emits, so `scripts/bench_snapshot.sh` can gate tail-latency
+//! regressions of the instrumented paths between snapshots.
 
 use qres_microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qres_sim::{run_scenario, Scenario, SchemeKind};
+
+/// Prints a histogram's p99 as a scrape-compatible `BENCH` line under the
+/// `obs_hist_p99/<metric>` id.
+fn report_hist_p99(name: &str, snapshot: &qres_obs::HistogramSnapshot) {
+    if let Some(p99) = snapshot.quantile(0.99) {
+        println!("BENCH {{\"id\":\"obs_hist_p99/{name}\",\"ns_per_iter\":{p99}.0}}");
+    }
+}
 
 fn bench_obs_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
@@ -33,6 +47,19 @@ fn bench_obs_overhead(c: &mut Criterion) {
                 );
                 black_box(r.events_dispatched)
             });
+            if mode == "enabled" {
+                // The histograms just absorbed every admission test and
+                // B_r computation of the enabled iterations: report their
+                // tails before the registry is wiped.
+                report_hist_p99(
+                    "qres_admission_test_ns",
+                    &qres_obs::metrics::ADMISSION_TEST_NS.merged_snapshot(),
+                );
+                report_hist_p99(
+                    "qres_br_compute_ns",
+                    &qres_obs::metrics::BR_COMPUTE_NS.merged_snapshot(),
+                );
+            }
             // Leave the process clean for the next case.
             qres_obs::set_level(qres_obs::Level::Off);
             qres_obs::reset();

@@ -10,7 +10,14 @@
 //! * `--csv` — print CSV only (for piping into plotting tools);
 //! * `--obs` — enable telemetry at debug level and write
 //!   `obs_snapshot.prom` (Prometheus exposition) and `obs_events.jsonl`
-//!   (the structured event stream) into the working directory.
+//!   (the structured event stream) into the working directory;
+//! * `--obs-sample <n>` — keep only every n-th debug-tier high-frequency
+//!   event (`br_compute`, `backbone_send`); the rate is exported as the
+//!   `qres_obs_sample_rate` gauge;
+//! * `--serve <host:port>` — with `--obs`, expose the live scrape
+//!   endpoint (`/metrics`, `/metrics.json`, `/healthz`) for the whole
+//!   experiment, so dashboards can follow long regenerations point by
+//!   point (`qres_sweep_points_{planned,done}_total`).
 //!
 //! The `benches/` directory holds Criterion micro-benchmarks of the
 //! algorithmic building blocks (HOE cache ops, Eq. 4 queries, `B_r`
@@ -27,10 +34,11 @@ pub const OBS_PROM_PATH: &str = "obs_snapshot.prom";
 /// JSONL event stream written by `--obs` (working directory).
 pub const OBS_JSONL_PATH: &str = "obs_events.jsonl";
 
-const USAGE: &str = "options: [--quick] [--seed <n>] [--csv] [--obs]";
+const USAGE: &str =
+    "options: [--quick] [--seed <n>] [--csv] [--obs] [--obs-sample <n>] [--serve <host:port>]";
 
 /// Common CLI options of the experiment binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpOptions {
     /// Shorten runs for smoke tests.
     pub quick: bool,
@@ -40,6 +48,10 @@ pub struct ExpOptions {
     pub csv_only: bool,
     /// Telemetry enabled (`--obs`).
     pub obs: bool,
+    /// Debug-tier event sampling stride (`--obs-sample`), when set.
+    pub obs_sample: Option<u64>,
+    /// Live scrape endpoint address (`--serve`), when set.
+    pub serve: Option<String>,
 }
 
 impl ExpOptions {
@@ -47,12 +59,17 @@ impl ExpOptions {
     /// usage message. `--obs` switches the recorder on at debug level and
     /// routes event-ring overflow to [`OBS_JSONL_PATH`] so the stream is
     /// complete; [`emit`] writes the exposition snapshot at the end.
+    /// `--serve <host:port>` (implies `--obs`) starts the live scrape
+    /// endpoint; it stays up until the process exits, so a scraper can
+    /// collect the final state of a finished experiment.
     pub fn from_args() -> Self {
         let mut opts = ExpOptions {
             quick: false,
             seed: 1,
             csv_only: false,
             obs: false,
+            obs_sample: None,
+            serve: None,
         };
         let mut args = env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -68,14 +85,47 @@ impl ExpOptions {
                         .parse()
                         .unwrap_or_else(|_| die("--seed must be an integer"));
                 }
+                "--obs-sample" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| die("--obs-sample requires a value"));
+                    let n: u64 = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--obs-sample must be an integer >= 1"));
+                    opts.obs_sample = Some(n);
+                }
+                "--serve" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| die("--serve requires a host:port value"));
+                    opts.serve = Some(v);
+                    opts.obs = true;
+                }
                 "--help" | "-h" => die(USAGE),
                 other => die(&format!("unknown option `{other}`; {USAGE}")),
             }
+        }
+        if let Some(n) = opts.obs_sample {
+            qres_obs::set_sample_every(n);
         }
         if opts.obs {
             qres_obs::set_level(qres_obs::Level::Debug);
             if let Err(e) = qres_obs::set_spill_path(Path::new(OBS_JSONL_PATH)) {
                 die(&format!("cannot create {OBS_JSONL_PATH}: {e}"));
+            }
+        }
+        if let Some(addr) = &opts.serve {
+            match qres_obs::ObsServer::start(addr) {
+                Ok(server) => {
+                    eprintln!("[obs] serving http://{}/metrics", server.addr());
+                    // The endpoint lives for the rest of the process: an
+                    // experiment binary exits right after its last table,
+                    // and the OS reclaims the thread and socket.
+                    std::mem::forget(server);
+                }
+                Err(e) => die(&format!("cannot bind {addr}: {e}")),
             }
         }
         opts

@@ -100,6 +100,11 @@ pub struct ReservationSystem {
     n_calc: Welford,
     br_calcs_total: u64,
     br_memo_hits: u64,
+    /// Monotonic admission-request id. Incremented unconditionally (not
+    /// gated on the obs level) so a run's ids are identical whether or
+    /// not telemetry is on; pairs `Admission` events with the
+    /// `BrCompute` children they triggered (`qres obstrace` spans).
+    admission_req_seq: u64,
 }
 
 impl ReservationSystem {
@@ -133,6 +138,7 @@ impl ReservationSystem {
             n_calc: Welford::new(),
             br_calcs_total: 0,
             br_memo_hits: 0,
+            admission_req_seq: 0,
         }
     }
 
@@ -190,6 +196,12 @@ impl ReservationSystem {
         self.br_memo_hits
     }
 
+    /// Total admission tests performed, which is also the id of the most
+    /// recent `Admission`/`BrCompute` span pair.
+    pub fn admission_requests_total(&self) -> u64 {
+        self.admission_req_seq
+    }
+
     /// Computes `B_r,target` (Eqs. 5–6), updating `last_br`, signaling
     /// counters and the calculation total. One call = one `N_calc` unit.
     ///
@@ -202,6 +214,7 @@ impl ReservationSystem {
     fn compute_br(&mut self, now: SimTime, target: CellId) -> f64 {
         let t_est = self.sites[target.index()].controller.t_est();
         let tolerance = self.config.br_staleness_tolerance;
+        let req_id = self.admission_req_seq;
         let Self {
             topology,
             sites,
@@ -210,6 +223,7 @@ impl ReservationSystem {
             ..
         } = self;
         let obs_on = qres_obs::enabled();
+        let obs_call_t0 = obs_on.then(std::time::Instant::now);
         let mut obs_hits = 0u32;
         let mut obs_recomputed = 0u32;
         let mut br = 0.0;
@@ -267,15 +281,19 @@ impl ReservationSystem {
         }
         self.sites[target.index()].last_br = br;
         self.br_calcs_total += 1;
-        if obs_on {
+        if let Some(t0) = obs_call_t0 {
+            let elapsed = t0.elapsed();
+            qres_obs::metrics::BR_COMPUTE_NS.record_cell_duration(target.0, elapsed);
             qres_obs::metrics::BR_MEMO_HITS_TOTAL.add(u64::from(obs_hits));
             qres_obs::metrics::BR_TERMS_RECOMPUTED_TOTAL.add(u64::from(obs_recomputed));
             qres_obs::record(qres_obs::ObsEvent::BrCompute {
                 t: now.as_secs(),
                 cell: target.0,
+                req: req_id,
                 memo_hits: obs_hits,
                 recomputed: obs_recomputed,
                 br,
+                dur_ns: elapsed.as_nanos() as u64,
             });
         }
         br
@@ -296,6 +314,8 @@ impl ReservationSystem {
         req: NewConnectionRequest,
     ) -> AdmissionDecision {
         let calcs_before = self.br_calcs_total;
+        self.admission_req_seq += 1;
+        let req_id = self.admission_req_seq;
         let obs_t0 = qres_obs::enabled().then(std::time::Instant::now);
         let decision = match self.config.scheme {
             SchemeConfig::Static { guard } => {
@@ -337,16 +357,19 @@ impl ReservationSystem {
         };
         self.n_calc.add((self.br_calcs_total - calcs_before) as f64);
         if let Some(t0) = obs_t0 {
-            qres_obs::metrics::ADMISSION_TEST_NS.record_duration(t0.elapsed());
+            let elapsed = t0.elapsed();
+            qres_obs::metrics::ADMISSION_TEST_NS.record_cell_duration(req.cell.0, elapsed);
             qres_obs::record(qres_obs::ObsEvent::Admission {
                 t: now.as_secs(),
                 cell: req.cell.0,
+                req: req_id,
                 scheme: self.config.scheme.label(),
                 admitted: decision.is_admitted(),
                 blocked_by_neighbor: decision.blocking_neighbor(),
                 // `B_r` at test time: every scheme updates `last_br` as
                 // part of its test (static keeps its guard-band default).
                 br: self.sites[req.cell.index()].last_br,
+                dur_ns: elapsed.as_nanos() as u64,
             });
         }
         if decision.is_admitted() {
@@ -983,5 +1006,60 @@ mod tests {
         let mut sys = system(SchemeConfig::Predictive { kind: AcKind::Ac3 });
         sys.request_new_connection(s(1.0), req(0, 1, 1));
         sys.attempt_handoff(s(2.0), ConnectionId(1), CellId(0), CellId(5));
+    }
+
+    #[test]
+    fn admission_tests_attribute_to_cell_shards_and_pair_spans() {
+        // Uses cell 40 on ring(50): no other test in this crate touches
+        // that shard, so delta-based assertions are safe even though the
+        // metric statics are process-global and tests run concurrently.
+        let config = QresConfig::paper_stationary(SchemeConfig::Predictive { kind: AcKind::Ac1 });
+        let mut sys =
+            ReservationSystem::new(config, Topology::ring(50), BsNetworkKind::FullyConnected);
+        let cell = 40u32;
+        let adm_before = qres_obs::metrics::ADMISSION_TEST_NS.shard_count(cell);
+        let br_before = qres_obs::metrics::BR_COMPUTE_NS.shard_count(cell);
+
+        let prev_level = qres_obs::level();
+        qres_obs::set_level(qres_obs::Level::Debug);
+        for i in 0..6u64 {
+            sys.request_new_connection(s(1.0 + i as f64), req(cell, i, 1));
+        }
+        qres_obs::set_level(prev_level);
+
+        // Per-cell attribution: both sharded histograms saw exactly the
+        // six tests (AC1: one B_r computation per test, all in cell 40).
+        assert_eq!(
+            qres_obs::metrics::ADMISSION_TEST_NS.shard_count(cell) - adm_before,
+            6
+        );
+        assert_eq!(
+            qres_obs::metrics::BR_COMPUTE_NS.shard_count(cell) - br_before,
+            6
+        );
+
+        // Request ids are monotonic and unconditional: six tests, six ids,
+        // whatever the obs level was at the time.
+        assert_eq!(sys.admission_requests_total(), 6);
+
+        // Span pairing: each drained BrCompute for cell 40 carries the req
+        // id of a cell-40 Admission, and ids strictly increase.
+        let (events, _dropped) = qres_obs::drain_events();
+        let mut admission_reqs = Vec::new();
+        let mut br_reqs = Vec::new();
+        for e in &events {
+            match e {
+                qres_obs::ObsEvent::Admission { cell: c, req, .. } if *c == cell => {
+                    admission_reqs.push(*req);
+                }
+                qres_obs::ObsEvent::BrCompute { cell: c, req, .. } if *c == cell => {
+                    br_reqs.push(*req);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(admission_reqs.len(), 6);
+        assert!(admission_reqs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(br_reqs, admission_reqs, "each test pairs one B_r span");
     }
 }

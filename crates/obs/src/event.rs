@@ -24,6 +24,10 @@ pub enum ObsEvent {
         t: f64,
         /// Requesting cell id.
         cell: u32,
+        /// Monotonic admission-request id assigned by the reservation
+        /// system; pairs this decision with the `BrCompute` events it
+        /// triggered (span-shaped tracing, `qres obstrace`).
+        req: u64,
         /// Scheme label (`AC1`/`AC2`/`AC3`/`static(G=..)`/`NS(..)`).
         scheme: String,
         /// Whether the connection was admitted.
@@ -33,6 +37,9 @@ pub enum ObsEvent {
         blocked_by_neighbor: Option<u8>,
         /// The requesting cell's `B_r` at test time (BUs).
         br: f64,
+        /// Wall-clock duration of the whole admission test (nanoseconds;
+        /// telemetry only, never fed back into the simulation).
+        dur_ns: u64,
     },
     /// One `compute_br` call: how many neighbor terms were served from the
     /// epoch memo versus recomputed through Eq. 4.
@@ -41,12 +48,17 @@ pub enum ObsEvent {
         t: f64,
         /// Cell whose `B_r` was computed.
         cell: u32,
+        /// The admission-request id this computation belongs to (child
+        /// span of the matching `Admission` event).
+        req: u64,
         /// Neighbor terms served from the memo.
         memo_hits: u32,
         /// Neighbor terms recomputed.
         recomputed: u32,
         /// The resulting `B_r` (BUs).
         br: f64,
+        /// Wall-clock duration of the computation (nanoseconds).
+        dur_ns: u64,
     },
     /// The adaptive window controller moved `T_est` (Fig. 6).
     TEstChange {
@@ -145,13 +157,16 @@ impl ObsEvent {
         match self {
             ObsEvent::Admission {
                 cell,
+                req,
                 scheme,
                 admitted,
                 blocked_by_neighbor,
                 br,
+                dur_ns,
                 ..
             } => {
                 fields.push(("cell".into(), Value::UInt(u64::from(*cell))));
+                fields.push(("req".into(), Value::UInt(*req)));
                 fields.push(("scheme".into(), Value::Str(scheme.clone())));
                 fields.push(("admitted".into(), Value::Bool(*admitted)));
                 fields.push((
@@ -162,18 +177,23 @@ impl ObsEvent {
                     },
                 ));
                 fields.push(("br".into(), Value::Float(*br)));
+                fields.push(("dur_ns".into(), Value::UInt(*dur_ns)));
             }
             ObsEvent::BrCompute {
                 cell,
+                req,
                 memo_hits,
                 recomputed,
                 br,
+                dur_ns,
                 ..
             } => {
                 fields.push(("cell".into(), Value::UInt(u64::from(*cell))));
+                fields.push(("req".into(), Value::UInt(*req)));
                 fields.push(("memo_hits".into(), Value::UInt(u64::from(*memo_hits))));
                 fields.push(("recomputed".into(), Value::UInt(u64::from(*recomputed))));
                 fields.push(("br".into(), Value::Float(*br)));
+                fields.push(("dur_ns".into(), Value::UInt(*dur_ns)));
             }
             ObsEvent::TEstChange {
                 cell,
@@ -255,17 +275,21 @@ mod tests {
             ObsEvent::Admission {
                 t: 1.5,
                 cell: 3,
+                req: 41,
                 scheme: "AC3".into(),
                 admitted: false,
                 blocked_by_neighbor: Some(1),
                 br: 12.5,
+                dur_ns: 2_400,
             },
             ObsEvent::BrCompute {
                 t: 2.0,
                 cell: 4,
+                req: 41,
                 memo_hits: 1,
                 recomputed: 1,
                 br: 3.0,
+                dur_ns: 800,
             },
             ObsEvent::TEstChange {
                 t: 3.0,

@@ -4,11 +4,65 @@
 
 use qres_json::Value;
 
-use crate::metrics::{counters, gauges, histograms, HistogramSnapshot};
+use crate::metrics::{
+    counters, gauges, histograms, sharded_histograms, HistogramSnapshot, ShardedHistogram,
+};
+use crate::recorder::sample_every;
+
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline, per the text exposition format 0.0.4.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one histogram snapshot as exposition sample lines (no
+/// `# HELP`/`# TYPE` header). `labels` is a pre-rendered label prefix such
+/// as `cell="7"` (empty for the unlabeled series); `le` is appended to it.
+fn histogram_series(out: &mut String, s: &HistogramSnapshot, labels: &str) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for &(lb, n) in &s.buckets {
+        cumulative += n;
+        // `le` is the bucket's upper bound: every sample in the bucket is
+        // <= it, so the cumulative count up to and including this bucket
+        // is exactly the count of samples <= that edge; the edges stay
+        // stable and integral.
+        out.push_str(&format!(
+            "{}_bucket{{{labels}{sep}le=\"{}\"}} {}\n",
+            s.name,
+            crate::loglin::upper_bound(crate::loglin::bucket_index(lb)),
+            cumulative
+        ));
+    }
+    // Use the cumulative bucket total (not the count atomic) so a
+    // snapshot taken while another thread records stays self-consistent.
+    out.push_str(&format!(
+        "{}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
+        s.name, cumulative
+    ));
+    if labels.is_empty() {
+        out.push_str(&format!("{}_sum {}\n", s.name, s.sum));
+        out.push_str(&format!("{}_count {}\n", s.name, cumulative));
+    } else {
+        out.push_str(&format!("{}_sum{{{labels}}} {}\n", s.name, s.sum));
+        out.push_str(&format!("{}_count{{{labels}}} {}\n", s.name, cumulative));
+    }
+}
 
 /// Renders the whole metrics registry in Prometheus text exposition
 /// format (version 0.0.4): `# HELP`/`# TYPE` pairs, cumulative
 /// `_bucket{le="..."}` series ending in `+Inf`, and `_sum`/`_count`.
+/// Sharded histograms additionally export one `cell`-labelled series per
+/// occupied shard next to their merged unlabeled (global) series.
 pub fn prometheus_text() -> String {
     let mut out = String::new();
     for c in counters() {
@@ -21,54 +75,84 @@ pub fn prometheus_text() -> String {
         out.push_str(&format!("# TYPE {} gauge\n", g.name()));
         out.push_str(&format!("{} {}\n", g.name(), g.get()));
     }
+    // The debug-tier sampling rate, so scraped event rates can be
+    // rescaled (a kept 1-in-N stream represents N times its count).
+    out.push_str(&format!(
+        "# HELP qres_obs_sample_rate 1-in-N sampling divisor applied to high-frequency debug events\n# TYPE qres_obs_sample_rate gauge\nqres_obs_sample_rate {}\n",
+        sample_every()
+    ));
     for h in histograms() {
         let s = h.snapshot();
         out.push_str(&format!("# HELP {} {}\n", s.name, s.help));
         out.push_str(&format!("# TYPE {} histogram\n", s.name));
-        let mut cumulative = 0u64;
-        for &(lb, n) in &s.buckets {
-            cumulative += n;
-            // `le` is the bucket's lower bound: every sample in the bucket
-            // is >= lb, so the cumulative count up to and including this
-            // bucket is exactly the count of samples <= its upper bound;
-            // we label with the lower bound for stable, integral edges.
-            out.push_str(&format!(
-                "{}_bucket{{le=\"{}\"}} {}\n",
-                s.name,
-                crate::loglin::upper_bound(crate::loglin::bucket_index(lb)),
-                cumulative
-            ));
+        histogram_series(&mut out, &s, "");
+    }
+    for h in sharded_histograms() {
+        out.push_str(&format!("# HELP {} {}\n", h.name(), h.help()));
+        out.push_str(&format!("# TYPE {} histogram\n", h.name()));
+        histogram_series(&mut out, &h.merged_snapshot(), "");
+        for shard in h.nonempty_shards() {
+            let label = format!(
+                "cell=\"{}\"",
+                escape_label_value(&ShardedHistogram::shard_label(shard))
+            );
+            histogram_series(&mut out, &h.shard_snapshot(shard), &label);
         }
-        // Use the cumulative bucket total (not the count atomic) so a
-        // snapshot taken while another thread records stays self-consistent.
-        out.push_str(&format!(
-            "{}_bucket{{le=\"+Inf\"}} {}\n",
-            s.name, cumulative
-        ));
-        out.push_str(&format!("{}_sum {}\n", s.name, s.sum));
-        out.push_str(&format!("{}_count {}\n", s.name, cumulative));
     }
     out
 }
 
 /// A JSON object snapshot of the registry, merged into run reports by
-/// `qres-sim` and printed by the `--obs` CLI path.
+/// `qres-sim` and printed by the `--obs` CLI path. Sharded histograms
+/// carry a `"cells"` sub-object with per-cell `count`/`sum`/`p99`.
 pub fn snapshot_json() -> Value {
     let counter_fields = counters()
         .iter()
         .map(|c| (c.name().to_string(), Value::UInt(c.get())))
         .collect();
-    let gauge_fields = gauges()
+    let mut gauge_fields: Vec<(String, Value)> = gauges()
         .iter()
         .map(|g| (g.name().to_string(), Value::UInt(g.get())))
         .collect();
-    let histo_fields = histograms()
+    gauge_fields.push((
+        "qres_obs_sample_rate".to_string(),
+        Value::UInt(sample_every()),
+    ));
+    let mut histo_fields: Vec<(String, Value)> = histograms()
         .iter()
         .map(|h| {
             let s = h.snapshot();
             (h.name().to_string(), histogram_json(&s))
         })
         .collect();
+    for h in sharded_histograms() {
+        let Value::Object(mut fields) = histogram_json(&h.merged_snapshot()) else {
+            unreachable!("histogram_json returns an object")
+        };
+        let cells: Vec<(String, Value)> = h
+            .nonempty_shards()
+            .into_iter()
+            .map(|shard| {
+                let s = h.shard_snapshot(shard);
+                (
+                    ShardedHistogram::shard_label(shard),
+                    Value::Object(vec![
+                        ("count".to_string(), Value::UInt(s.count)),
+                        ("sum".to_string(), Value::UInt(s.sum)),
+                        (
+                            "p99".to_string(),
+                            match s.quantile(0.99) {
+                                Some(v) => Value::UInt(v),
+                                None => Value::Null,
+                            },
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        fields.push(("cells".to_string(), Value::Object(cells)));
+        histo_fields.push((h.name().to_string(), Value::Object(fields)));
+    }
     Value::Object(vec![
         ("counters".to_string(), Value::Object(counter_fields)),
         ("gauges".to_string(), Value::Object(gauge_fields)),
@@ -98,19 +182,31 @@ fn histogram_json(s: &HistogramSnapshot) -> Value {
     ])
 }
 
+/// Per-series lint state for one histogram time series (one family ×
+/// labelset-without-`le`).
+struct SeriesState {
+    family: String,
+    /// Non-`le` labels, sorted and re-joined — the series key.
+    label_key: String,
+    last_le: f64,
+    last_cumulative: u64,
+    inf: Option<u64>,
+}
+
 /// Lints a Prometheus text exposition document.
 ///
 /// Checks, per line: valid `# HELP` / `# TYPE` comments (known types
-/// only), metric-name syntax, label syntax, parsable sample values; and,
-/// per histogram family: `le` edges strictly increasing and cumulative
-/// counts non-decreasing, the series terminated by `+Inf`, and the `+Inf`
-/// bucket equal to `_count`. Returns the first violation as
-/// `Err("line N: ...")`.
+/// only), metric-name syntax, label syntax (quoted values, `\\`/`\"`/`\n`
+/// escapes only), parsable sample values; and, per histogram *series*
+/// (family × labelset without `le` — sharded families export one series
+/// per cell next to the unlabeled global): `le` edges strictly increasing
+/// and cumulative counts non-decreasing, the series terminated by `+Inf`,
+/// and the `+Inf` bucket equal to the matching `_count`. Returns the
+/// first violation as `Err("line N: ...")`.
 pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
     let mut typed: Vec<(String, String)> = Vec::new(); // (family, type)
-                                                       // Per-histogram running state: (family, last le, last cumulative, saw +Inf, inf count)
-    let mut hist: Option<(String, Option<f64>, u64, Option<u64>)> = None;
-    let mut counts: Vec<(String, u64)> = Vec::new();
+    let mut series: Vec<SeriesState> = Vec::new();
+    let mut counts: Vec<(String, String, u64)> = Vec::new(); // (family, label key, value)
 
     for (i, line) in text.lines().enumerate() {
         let n = i + 1;
@@ -175,8 +271,9 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
         }
 
         let mut le: Option<f64> = None;
+        let mut other_labels: Vec<String> = Vec::new();
         if let Some(labels) = labels {
-            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+            for pair in split_labels(labels).map_err(|e| format!("line {n}: {e}"))? {
                 let (k, v) = pair
                     .split_once('=')
                     .ok_or_else(|| format!("line {n}: malformed label {pair:?}"))?;
@@ -184,6 +281,7 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
                     .strip_prefix('"')
                     .and_then(|v| v.strip_suffix('"'))
                     .ok_or_else(|| format!("line {n}: unquoted label value in {pair:?}"))?;
+                validate_escapes(v).map_err(|e| format!("line {n}: {e}"))?;
                 if k == "le" {
                     le = Some(if v == "+Inf" {
                         f64::INFINITY
@@ -191,59 +289,118 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
                         v.parse()
                             .map_err(|_| format!("line {n}: unparsable le {v:?}"))?
                     });
+                } else {
+                    other_labels.push(pair.to_string());
                 }
             }
         }
+        other_labels.sort();
+        let label_key = other_labels.join(",");
 
         if name.ends_with("_bucket") {
             let le = le.ok_or_else(|| format!("line {n}: histogram bucket without le"))?;
             let cumulative = value as u64;
-            match &mut hist {
-                Some((fam, last_le, last_cum, inf)) if fam == family => {
-                    if let Some(prev) = last_le {
-                        if le <= *prev {
-                            return Err(format!("line {n}: le edges not increasing in {family}"));
-                        }
+            match series
+                .iter_mut()
+                .find(|s| s.family == family && s.label_key == label_key)
+            {
+                Some(s) => {
+                    if le <= s.last_le {
+                        return Err(format!(
+                            "line {n}: le edges not increasing in {family}{{{label_key}}}"
+                        ));
                     }
-                    if cumulative < *last_cum {
-                        return Err(format!("line {n}: cumulative count decreased in {family}"));
+                    if cumulative < s.last_cumulative {
+                        return Err(format!(
+                            "line {n}: cumulative count decreased in {family}{{{label_key}}}"
+                        ));
                     }
-                    *last_le = Some(le);
-                    *last_cum = cumulative;
+                    s.last_le = le;
+                    s.last_cumulative = cumulative;
                     if le.is_infinite() {
-                        *inf = Some(cumulative);
+                        s.inf = Some(cumulative);
                     }
                 }
-                _ => {
-                    finish_histogram(&hist, &counts)?;
-                    hist = Some((
-                        family.to_string(),
-                        Some(le),
-                        cumulative,
-                        le.is_infinite().then_some(cumulative),
-                    ));
-                }
+                None => series.push(SeriesState {
+                    family: family.to_string(),
+                    label_key,
+                    last_le: le,
+                    last_cumulative: cumulative,
+                    inf: le.is_infinite().then_some(cumulative),
+                }),
             }
         } else if let Some(fam) = name.strip_suffix("_count") {
-            counts.push((fam.to_string(), value as u64));
+            counts.push((fam.to_string(), label_key, value as u64));
         }
     }
-    finish_histogram(&hist, &counts)?;
+    for s in &series {
+        let inf = s.inf.ok_or_else(|| {
+            format!(
+                "histogram {}{{{}}} has no +Inf bucket",
+                s.family, s.label_key
+            )
+        })?;
+        if let Some((_, _, c)) = counts
+            .iter()
+            .find(|(f, k, _)| *f == s.family && *k == s.label_key)
+        {
+            if *c != inf {
+                return Err(format!(
+                    "histogram {}{{{}}}: +Inf bucket {inf} != _count {c}",
+                    s.family, s.label_key
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
-fn finish_histogram(
-    hist: &Option<(String, Option<f64>, u64, Option<u64>)>,
-    counts: &[(String, u64)],
-) -> Result<(), String> {
-    if let Some((family, _, _, inf)) = hist {
-        let inf = inf.ok_or_else(|| format!("histogram {family} has no +Inf bucket"))?;
-        if let Some((_, c)) = counts.iter().find(|(f, _)| f == family) {
-            if *c != inf {
-                return Err(format!(
-                    "histogram {family}: +Inf bucket {inf} != _count {c}"
-                ));
+/// Splits a label body on commas that are outside quoted values (label
+/// values may contain escaped quotes, never raw commas-in-quotes issues —
+/// but be safe: a `,` inside `"` belongs to the value).
+fn split_labels(labels: &str) -> Result<Vec<&str>, String> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in labels.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                if i > start {
+                    out.push(&labels[start..i]);
+                }
+                start = i + 1;
             }
+            _ => {}
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted label value".to_string());
+    }
+    if start < labels.len() {
+        out.push(&labels[start..]);
+    }
+    Ok(out)
+}
+
+/// Rejects raw control characters and stray backslash escapes in a label
+/// value (only `\\`, `\"`, and `\n` are legal escapes).
+fn validate_escapes(v: &str) -> Result<(), String> {
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some('\\') | Some('"') | Some('n') => {}
+                other => return Err(format!("bad escape \\{:?} in label value", other)),
+            },
+            '\n' | '\r' => return Err("raw newline in label value".to_string()),
+            _ => {}
         }
     }
     Ok(())
@@ -276,13 +433,41 @@ mod tests {
     fn exposition_passes_own_lint() {
         // Other obs tests may bump counters concurrently; recording here
         // only makes the document richer, never invalid.
-        ADMISSION_TEST_NS.record(100);
-        ADMISSION_TEST_NS.record(5_000);
+        ADMISSION_TEST_NS.record_cell(0, 100);
+        ADMISSION_TEST_NS.record_cell(3, 5_000);
         let text = prometheus_text();
         assert!(text.contains("# TYPE qres_admission_test_ns histogram"));
+        assert!(text.contains("# TYPE qres_br_compute_ns histogram"));
         assert!(text.contains("qres_backbone_msgs_total"));
+        assert!(text.contains("qres_obs_sample_rate"));
         assert!(text.contains("le=\"+Inf\""));
+        // Per-cell attribution series sit next to the merged global view.
+        assert!(text.contains("qres_admission_test_ns_bucket{cell=\"0\","));
+        assert!(text.contains("qres_admission_test_ns_count{cell=\"3\"}"));
         validate_prometheus_text(&text).expect("own exposition must lint clean");
+    }
+
+    #[test]
+    fn empty_histogram_renders_a_valid_zero_series() {
+        // A histogram with no samples (a metric whose code path never ran,
+        // or a cell shard that stayed quiet) must still render a complete,
+        // lintable series: bare `+Inf` bucket, zero `_sum`/`_count`.
+        let empty = HistogramSnapshot {
+            name: "qres_test_empty_ns",
+            help: "test",
+            buckets: Vec::new(),
+            sum: 0,
+            count: 0,
+        };
+        for labels in ["", "cell=\"12\""] {
+            let mut doc = String::from(
+                "# HELP qres_test_empty_ns test\n# TYPE qres_test_empty_ns histogram\n",
+            );
+            histogram_series(&mut doc, &empty, labels);
+            assert!(doc.contains("le=\"+Inf\"} 0\n"));
+            validate_prometheus_text(&doc)
+                .unwrap_or_else(|e| panic!("empty series (labels={labels:?}) fails lint: {e}"));
+        }
     }
 
     #[test]
@@ -303,6 +488,50 @@ mod tests {
     }
 
     #[test]
+    fn lint_tracks_labeled_series_independently() {
+        // Two cell series plus the unlabeled global of one family, each
+        // with its own le ladder and _count: all must validate.
+        let doc = "\
+# HELP h h
+# TYPE h histogram
+h_bucket{le=\"1\"} 1
+h_bucket{le=\"+Inf\"} 2
+h_sum 3
+h_count 2
+h_bucket{cell=\"0\",le=\"1\"} 1
+h_bucket{cell=\"0\",le=\"+Inf\"} 1
+h_sum{cell=\"0\"} 1
+h_count{cell=\"0\"} 1
+h_bucket{cell=\"3\",le=\"4\"} 1
+h_bucket{cell=\"3\",le=\"+Inf\"} 1
+h_sum{cell=\"3\"} 2
+h_count{cell=\"3\"} 1
+";
+        validate_prometheus_text(doc).unwrap();
+        // A per-cell +Inf/_count mismatch is caught per series.
+        let bad = doc.replace("h_count{cell=\"3\"} 1", "h_count{cell=\"3\"} 9");
+        assert!(validate_prometheus_text(&bad)
+            .unwrap_err()
+            .contains("cell=\"3\""));
+    }
+
+    #[test]
+    fn label_values_escape_and_lint() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(
+            escape_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd".to_string()
+        );
+        let doc = format!(
+            "# HELP h h\n# TYPE h gauge\nh{{k=\"{}\"}} 1\n",
+            escape_label_value("quote\" slash\\ line\nend")
+        );
+        validate_prometheus_text(&doc).unwrap();
+        // Raw (unescaped) backslash before a non-escape char is rejected.
+        assert!(validate_prometheus_text("# HELP h h\n# TYPE h gauge\nh{k=\"a\\z\"} 1\n").is_err());
+    }
+
+    #[test]
     fn snapshot_json_shape() {
         let v = snapshot_json();
         let Value::Object(fields) = v else {
@@ -310,5 +539,16 @@ mod tests {
         };
         let keys: Vec<_> = fields.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, ["counters", "gauges", "histograms"]);
+        // Sharded histograms carry a per-cell sub-object.
+        let Some((_, Value::Object(histos))) = fields.iter().find(|(k, _)| k == "histograms")
+        else {
+            panic!("no histograms section")
+        };
+        let Some((_, Value::Object(adm))) =
+            histos.iter().find(|(k, _)| k == "qres_admission_test_ns")
+        else {
+            panic!("no admission histogram")
+        };
+        assert!(adm.iter().any(|(k, _)| k == "cells"));
     }
 }

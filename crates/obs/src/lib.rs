@@ -15,6 +15,12 @@
 //!   misses, event dispatch, sweep points.
 //! * [`export`] — Prometheus text exposition, a JSON snapshot merged into
 //!   `qres-sim` run reports, and an in-repo exposition lint for CI.
+//! * [`serve`] — a hand-rolled `std::net` HTTP scrape endpoint
+//!   (`/metrics`, `/metrics.json`, `/healthz`) so Prometheus/Grafana can
+//!   watch a long sweep live instead of waiting for the final snapshot.
+//! * [`fold`] / [`trace`] — offline renderers over the spilled event
+//!   stream: folded stacks for `flamegraph.pl`/inferno (`qres obsfold`)
+//!   and Perfetto-importable trace-event JSON (`qres obstrace`).
 //! * [`loglin`] — the shared log-linear bucket layout (16 sub-buckets per
 //!   octave, ≤ 6.25% relative error), also reused by
 //!   `qres_stats::LogLinearHistogram`.
@@ -39,14 +45,24 @@
 
 pub mod event;
 pub mod export;
+pub mod fold;
 pub mod loglin;
 pub mod metrics;
 pub mod recorder;
+pub mod serve;
+pub mod trace;
 
 pub use event::{events_to_jsonl, ObsEvent};
-pub use export::{prometheus_text, snapshot_json, validate_prometheus_text};
-pub use metrics::{reset_metrics, AtomicHistogram, Counter, HistogramSnapshot, MaxGauge};
+pub use export::{escape_label_value, prometheus_text, snapshot_json, validate_prometheus_text};
+pub use fold::folded_stacks;
+pub use metrics::{
+    reset_metrics, AtomicHistogram, Counter, HistogramSnapshot, MaxGauge, ShardedHistogram,
+    CELL_SHARDS,
+};
 pub use recorder::{
     clear_spill, drain_events, enabled, enabled_at, flush_spill, level, record, reset,
-    set_capacity, set_level, set_sim_time, set_spill_path, sim_time, Level,
+    sample_every, set_capacity, set_level, set_sample_every, set_sim_time, set_spill_path,
+    sim_time, Level,
 };
+pub use serve::ObsServer;
+pub use trace::perfetto_trace;

@@ -1,6 +1,6 @@
 //! Atomic metrics registry: counters, max-gauges, and log-linear timing
-//! histograms, all `const`-constructible statics so instrumentation sites
-//! pay no registration cost.
+//! histograms — global and `CellId`-sharded — all `const`-constructible
+//! statics so instrumentation sites pay no registration cost.
 //!
 //! All operations use relaxed atomics — metrics are telemetry, not
 //! synchronization. Hot-path discipline: callers must gate both the
@@ -98,18 +98,84 @@ impl MaxGauge {
     }
 }
 
-/// A lock-free log-linear histogram over `u64` samples (nanoseconds, by
-/// convention), using the bucket layout of [`crate::loglin`].
-pub struct AtomicHistogram {
-    name: &'static str,
-    help: &'static str,
+/// The nameless interior of a log-linear histogram: bucket array plus
+/// sum/count, shared by [`AtomicHistogram`] (one instance) and
+/// [`ShardedHistogram`] (one per cell shard).
+struct HistCore {
     buckets: [AtomicU64; NUM_BUCKETS],
     sum: AtomicU64,
     count: AtomicU64,
 }
 
-/// A point-in-time copy of an [`AtomicHistogram`], with only the occupied
-/// buckets materialized.
+impl HistCore {
+    const fn new() -> Self {
+        HistCore {
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Adds this core's occupied buckets into `dense` (a `NUM_BUCKETS`
+    /// array) and returns `(sum, count)`.
+    fn accumulate(&self, dense: &mut [u64; NUM_BUCKETS]) -> (u64, u64) {
+        for (d, b) in dense.iter_mut().zip(&self.buckets) {
+            *d += b.load(Ordering::Relaxed);
+        }
+        (
+            self.sum.load(Ordering::Relaxed),
+            self.count.load(Ordering::Relaxed),
+        )
+    }
+
+    fn snapshot(&self, name: &'static str, help: &'static str) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((lower_bound(i), n));
+            }
+        }
+        HistogramSnapshot {
+            name,
+            help,
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A lock-free log-linear histogram over `u64` samples (nanoseconds, by
+/// convention), using the bucket layout of [`crate::loglin`].
+pub struct AtomicHistogram {
+    name: &'static str,
+    help: &'static str,
+    core: HistCore,
+}
+
+/// A point-in-time copy of an [`AtomicHistogram`] (or one shard / the
+/// merged view of a [`ShardedHistogram`]), with only the occupied buckets
+/// materialized.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Metric name.
@@ -154,18 +220,14 @@ impl AtomicHistogram {
         AtomicHistogram {
             name,
             help,
-            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
-            sum: AtomicU64::new(0),
-            count: AtomicU64::new(0),
+            core: HistCore::new(),
         }
     }
 
     /// Records one sample.
     #[inline]
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.core.record(v);
     }
 
     /// Records a wall-clock duration in nanoseconds.
@@ -186,33 +248,140 @@ impl AtomicHistogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.core.count()
     }
 
     /// Copies out the occupied buckets.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let mut buckets = Vec::new();
-        for (i, b) in self.buckets.iter().enumerate() {
-            let n = b.load(Ordering::Relaxed);
-            if n > 0 {
-                buckets.push((lower_bound(i), n));
-            }
+        self.core.snapshot(self.name, self.help)
+    }
+
+    fn reset(&self) {
+        self.core.reset();
+    }
+}
+
+/// Cell shards with their own exact bucket array; cells with ids `>=
+/// CELL_SHARDS` fold into one shared overflow shard (labelled `"other"`)
+/// so the static stays bounded however large the topology grows.
+pub const CELL_SHARDS: usize = 64;
+
+/// A [`AtomicHistogram`] sharded by `CellId`, for attributing hot-path
+/// cost to individual cells under skewed mobility.
+///
+/// Shard `i < CELL_SHARDS` holds exactly cell `i`; one extra overflow
+/// shard aggregates every larger id. Shards share the
+/// [`crate::loglin`] bucket layout, so any subset merges losslessly —
+/// the exporter's global view sums the shard buckets directly, and
+/// `qres_stats::LogLinearHistogram` (the mergeable value-type twin) can
+/// re-aggregate per-cell snapshots offline to the identical result.
+pub struct ShardedHistogram {
+    name: &'static str,
+    help: &'static str,
+    shards: [HistCore; CELL_SHARDS + 1],
+}
+
+impl ShardedHistogram {
+    /// Creates a named sharded histogram (for use in `static` items).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        ShardedHistogram {
+            name,
+            help,
+            shards: [const { HistCore::new() }; CELL_SHARDS + 1],
         }
+    }
+
+    /// The shard index a cell id lands in.
+    #[inline]
+    pub fn shard_of(cell: u32) -> usize {
+        (cell as usize).min(CELL_SHARDS)
+    }
+
+    /// The `cell` label value for a shard index (`"7"`, or `"other"` for
+    /// the overflow shard).
+    pub fn shard_label(shard: usize) -> String {
+        if shard < CELL_SHARDS {
+            shard.to_string()
+        } else {
+            "other".to_string()
+        }
+    }
+
+    /// Records one sample attributed to `cell`.
+    #[inline]
+    pub fn record_cell(&self, cell: u32, v: u64) {
+        self.shards[Self::shard_of(cell)].record(v);
+    }
+
+    /// Records a wall-clock duration (nanoseconds) attributed to `cell`.
+    #[inline]
+    pub fn record_cell_duration(&self, cell: u32, d: std::time::Duration) {
+        self.record_cell(cell, d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Help text.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Total samples across all shards.
+    pub fn count(&self) -> u64 {
+        self.shards.iter().map(HistCore::count).sum()
+    }
+
+    /// Samples recorded in the shard `cell` lands in (delta-friendly for
+    /// tests that share the process-global registry).
+    pub fn shard_count(&self, cell: u32) -> u64 {
+        self.shards[Self::shard_of(cell)].count()
+    }
+
+    /// Shard indices with at least one sample, ascending.
+    pub fn nonempty_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| self.shards[i].count() > 0)
+            .collect()
+    }
+
+    /// Snapshot of one shard.
+    pub fn shard_snapshot(&self, shard: usize) -> HistogramSnapshot {
+        self.shards[shard].snapshot(self.name, self.help)
+    }
+
+    /// The global view: all shards merged bucket-wise (the shards share
+    /// one bucket layout, so this is a lossless sum).
+    pub fn merged_snapshot(&self) -> HistogramSnapshot {
+        let mut dense = [0u64; NUM_BUCKETS];
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for shard in &self.shards {
+            let (s, c) = shard.accumulate(&mut dense);
+            sum = sum.saturating_add(s);
+            count += c;
+        }
+        let buckets = dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (lower_bound(i), n))
+            .collect();
         HistogramSnapshot {
             name: self.name,
             help: self.help,
             buckets,
-            sum: self.sum.load(Ordering::Relaxed),
-            count: self.count.load(Ordering::Relaxed),
+            sum,
+            count,
         }
     }
 
     fn reset(&self) {
-        for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.reset();
         }
-        self.sum.store(0, Ordering::Relaxed);
-        self.count.store(0, Ordering::Relaxed);
     }
 }
 
@@ -221,10 +390,18 @@ impl AtomicHistogram {
 // `_ns` histograms are wall-clock nanoseconds, `_total` are counters.
 // ---------------------------------------------------------------------------
 
-/// Wall-clock time of one new-connection admission test (`qres-core`).
-pub static ADMISSION_TEST_NS: AtomicHistogram = AtomicHistogram::new(
+/// Wall-clock time of one new-connection admission test (`qres-core`),
+/// sharded by requesting cell.
+pub static ADMISSION_TEST_NS: ShardedHistogram = ShardedHistogram::new(
     "qres_admission_test_ns",
     "Wall-clock nanoseconds per new-connection admission test",
+);
+
+/// Wall-clock time of one full `compute_br` call (Eqs. 5-6, all neighbor
+/// terms), sharded by the cell whose `B_r` was computed.
+pub static BR_COMPUTE_NS: ShardedHistogram = ShardedHistogram::new(
+    "qres_br_compute_ns",
+    "Wall-clock nanoseconds per full B_r target computation (Eqs. 5-6)",
 );
 
 /// Wall-clock time of one batched Eq.-4 sweep (`qres-mobility`).
@@ -323,22 +500,29 @@ pub static EVENTS_DROPPED_TOTAL: Counter = Counter::new(
     "Structured events lost to ring-buffer overwrites",
 );
 
-/// High-water mark of live events in the DES queue.
-pub static QUEUE_HIGH_WATER: MaxGauge = MaxGauge::new(
-    "qres_des_queue_high_water",
-    "High-water mark of live (non-cancelled) events in the DES queue",
+/// Debug-tier events skipped by 1-in-N sampling (not recorded, not
+/// dropped; rescale scraped rates by `qres_obs_sample_rate`).
+pub static EVENTS_SAMPLED_OUT_TOTAL: Counter = Counter::new(
+    "qres_obs_events_sampled_out_total",
+    "High-frequency events skipped by 1-in-N debug-tier sampling",
 );
 
-/// High-water mark of simultaneously active mobiles.
-pub static ACTIVE_MOBILES: MaxGauge = MaxGauge::new(
-    "qres_active_mobiles_high_water",
-    "High-water mark of simultaneously active mobile connections",
+/// Offered-load sweep points planned (enqueued by `sweep_offered_load`).
+pub static SWEEP_POINTS_PLANNED_TOTAL: Counter = Counter::new(
+    "qres_sweep_points_planned_total",
+    "Offered-load sweep points enqueued for execution",
 );
 
-/// Every registered histogram, in export order.
-pub fn histograms() -> [&'static AtomicHistogram; 6] {
+/// Offered-load sweep points completed; with the planned counter this is
+/// the live progress gauge a scraper watches during a long sweep.
+pub static SWEEP_POINTS_DONE_TOTAL: Counter = Counter::new(
+    "qres_sweep_points_done_total",
+    "Offered-load sweep points completed",
+);
+
+/// Every registered global (unsharded) histogram, in export order.
+pub fn histograms() -> [&'static AtomicHistogram; 5] {
     [
-        &ADMISSION_TEST_NS,
         &BATCHED_CONTRIBUTION_NS,
         &BR_TERM_HIT_NS,
         &BR_TERM_MISS_NS,
@@ -347,8 +531,13 @@ pub fn histograms() -> [&'static AtomicHistogram; 6] {
     ]
 }
 
+/// Every registered cell-sharded histogram, in export order.
+pub fn sharded_histograms() -> [&'static ShardedHistogram; 2] {
+    [&ADMISSION_TEST_NS, &BR_COMPUTE_NS]
+}
+
 /// Every registered counter, in export order.
-pub fn counters() -> [&'static Counter; 11] {
+pub fn counters() -> [&'static Counter; 14] {
     [
         &BACKBONE_MSGS_TOTAL,
         &BACKBONE_BYTES_TOTAL,
@@ -361,6 +550,9 @@ pub fn counters() -> [&'static Counter; 11] {
         &B_I0_EVALS_TOTAL,
         &EVENTS_RECORDED_TOTAL,
         &EVENTS_DROPPED_TOTAL,
+        &EVENTS_SAMPLED_OUT_TOTAL,
+        &SWEEP_POINTS_PLANNED_TOTAL,
+        &SWEEP_POINTS_DONE_TOTAL,
     ]
 }
 
@@ -369,9 +561,24 @@ pub fn gauges() -> [&'static MaxGauge; 2] {
     [&QUEUE_HIGH_WATER, &ACTIVE_MOBILES]
 }
 
+/// High-water mark of live events in the DES queue.
+pub static QUEUE_HIGH_WATER: MaxGauge = MaxGauge::new(
+    "qres_des_queue_high_water",
+    "High-water mark of live (non-cancelled) events in the DES queue",
+);
+
+/// High-water mark of simultaneously active mobiles.
+pub static ACTIVE_MOBILES: MaxGauge = MaxGauge::new(
+    "qres_active_mobiles_high_water",
+    "High-water mark of simultaneously active mobile connections",
+);
+
 /// Zeroes every instrument in the registry (between runs / tests).
 pub fn reset_metrics() {
     for h in histograms() {
+        h.reset();
+    }
+    for h in sharded_histograms() {
         h.reset();
     }
     for c in counters() {
@@ -417,11 +624,47 @@ mod tests {
     }
 
     #[test]
+    fn sharded_histogram_attributes_and_merges() {
+        static S: ShardedHistogram = ShardedHistogram::new("t_sharded_ns", "test");
+        S.record_cell(2, 10);
+        S.record_cell(2, 20);
+        S.record_cell(7, 1_000);
+        // Overflow cells fold into the shared "other" shard.
+        S.record_cell(CELL_SHARDS as u32, 5);
+        S.record_cell(CELL_SHARDS as u32 + 100, 7);
+        assert_eq!(S.nonempty_shards(), vec![2, 7, CELL_SHARDS]);
+        assert_eq!(ShardedHistogram::shard_label(2), "2");
+        assert_eq!(ShardedHistogram::shard_label(CELL_SHARDS), "other");
+
+        let cell2 = S.shard_snapshot(2);
+        assert_eq!(cell2.count, 2);
+        assert_eq!(cell2.sum, 30);
+        assert_eq!(S.shard_snapshot(CELL_SHARDS).count, 2);
+
+        // The merged view equals the sum of the shards, bucket for bucket.
+        let merged = S.merged_snapshot();
+        assert_eq!(merged.count, 5);
+        assert_eq!(merged.sum, 10 + 20 + 1_000 + 5 + 7);
+        let shard_bucket_total: u64 = S
+            .nonempty_shards()
+            .iter()
+            .flat_map(|&i| S.shard_snapshot(i).buckets)
+            .map(|(_, n)| n)
+            .sum();
+        let merged_bucket_total: u64 = merged.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(shard_bucket_total, merged_bucket_total);
+    }
+
+    #[test]
     fn registry_shapes() {
-        assert_eq!(histograms().len(), 6);
-        assert_eq!(counters().len(), 11);
+        assert_eq!(histograms().len(), 5);
+        assert_eq!(sharded_histograms().len(), 2);
+        assert_eq!(counters().len(), 14);
         assert_eq!(gauges().len(), 2);
         let names: Vec<_> = histograms().iter().map(|h| h.name()).collect();
         assert!(names.contains(&"qres_event_dispatch_ns"));
+        let sharded: Vec<_> = sharded_histograms().iter().map(|h| h.name()).collect();
+        assert!(sharded.contains(&"qres_admission_test_ns"));
+        assert!(sharded.contains(&"qres_br_compute_ns"));
     }
 }

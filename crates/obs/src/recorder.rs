@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 use crate::event::{events_to_jsonl, ObsEvent};
-use crate::metrics::{EVENTS_DROPPED_TOTAL, EVENTS_RECORDED_TOTAL};
+use crate::metrics::{EVENTS_DROPPED_TOTAL, EVENTS_RECORDED_TOTAL, EVENTS_SAMPLED_OUT_TOTAL};
 
 /// Recorder verbosity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -39,6 +39,15 @@ static SIM_TIME_BITS: AtomicU64 = AtomicU64::new(0);
 
 /// Default event ring capacity.
 pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// 1-in-N sampling divisor for the high-frequency debug-tier events
+/// (`BrCompute`, `BackboneSend`); 1 = keep everything.
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
+
+/// Deterministic per-family sampling sequence counters (counter-based
+/// sampling, no RNG: the k-th event of a family is kept iff `k % N == 0`).
+static BR_SAMPLE_SEQ: AtomicU64 = AtomicU64::new(0);
+static BACKBONE_SAMPLE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 struct Ring {
     buf: Vec<ObsEvent>,
@@ -98,6 +107,39 @@ pub fn sim_time() -> f64 {
     f64::from_bits(SIM_TIME_BITS.load(Ordering::Relaxed))
 }
 
+/// Sets the 1-in-N sampling divisor for the high-frequency debug-tier
+/// events (`BrCompute`, `BackboneSend`). `n <= 1` keeps every event. At
+/// debug level under extreme loads the ring churns; sampling keeps the
+/// stream bounded while `qres_obs_sample_rate` in the exposition lets
+/// scraped rates be rescaled (each kept event represents `N`). Sampling
+/// never touches histograms or counters — only the event stream.
+pub fn set_sample_every(n: u64) {
+    SAMPLE_EVERY.store(n.max(1), Ordering::Relaxed);
+    BR_SAMPLE_SEQ.store(0, Ordering::Relaxed);
+    BACKBONE_SAMPLE_SEQ.store(0, Ordering::Relaxed);
+}
+
+/// The current debug-tier sampling divisor (1 = no sampling).
+pub fn sample_every() -> u64 {
+    SAMPLE_EVERY.load(Ordering::Relaxed)
+}
+
+/// True when sampling admits this event: non-sampled families always
+/// pass; `BrCompute`/`BackboneSend` pass for every N-th event of their
+/// family (deterministic counter, no RNG).
+fn sampled_in(event: &ObsEvent) -> bool {
+    let n = SAMPLE_EVERY.load(Ordering::Relaxed);
+    if n <= 1 {
+        return true;
+    }
+    let seq = match event {
+        ObsEvent::BrCompute { .. } => &BR_SAMPLE_SEQ,
+        ObsEvent::BackboneSend { .. } => &BACKBONE_SAMPLE_SEQ,
+        _ => return true,
+    };
+    seq.fetch_add(1, Ordering::Relaxed) % n == 0
+}
+
 /// Records an event if the current level admits it.
 ///
 /// When the ring is full: with a spill file configured the buffered events
@@ -105,6 +147,10 @@ pub fn sim_time() -> f64 {
 /// event is overwritten and the dropped counter bumped.
 pub fn record(event: ObsEvent) {
     if !enabled_at(event.level()) {
+        return;
+    }
+    if !sampled_in(&event) {
+        EVENTS_SAMPLED_OUT_TOTAL.add(1);
         return;
     }
     EVENTS_RECORDED_TOTAL.add(1);
@@ -208,6 +254,44 @@ mod tests {
     fn recorder_lifecycle() {
         lifecycle();
         spill_file_keeps_complete_stream();
+        sampling_keeps_one_in_n();
+    }
+
+    fn sampling_keeps_one_in_n() {
+        reset();
+        set_level(Level::Debug);
+        set_sample_every(4);
+        for i in 0..16u32 {
+            record(ObsEvent::BrCompute {
+                t: f64::from(i),
+                cell: 0,
+                req: u64::from(i),
+                memo_hits: 0,
+                recomputed: 1,
+                br: 0.0,
+                dur_ns: 0,
+            });
+            // Info-tier events are never sampled out.
+            record(ObsEvent::QueueHighWater {
+                t: f64::from(i),
+                live: 1,
+            });
+        }
+        let (events, _) = drain_events();
+        let br = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::BrCompute { .. }))
+            .count();
+        let info = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::QueueHighWater { .. }))
+            .count();
+        assert_eq!(br, 4, "1-in-4 sampling must keep every 4th BrCompute");
+        assert_eq!(info, 16, "info-tier events bypass sampling");
+        assert_eq!(sample_every(), 4);
+        set_sample_every(1);
+        set_level(Level::Off);
+        reset();
     }
 
     fn lifecycle() {
@@ -225,9 +309,11 @@ mod tests {
         record(ObsEvent::BrCompute {
             t: 1.0,
             cell: 0,
+            req: 1,
             memo_hits: 0,
             recomputed: 1,
             br: 0.0,
+            dur_ns: 0,
         });
         let (events, dropped) = drain_events();
         assert_eq!(events.len(), 1, "debug event must be filtered at info");

@@ -1,0 +1,282 @@
+//! Perfetto / Chrome trace-event rendering of the `--obs` event stream
+//! (`qres obstrace`).
+//!
+//! Emits the legacy JSON trace format (`{"traceEvents": [...]}`) that
+//! both `ui.perfetto.dev` and `chrome://tracing` import: one complete
+//! (`"ph": "X"`) span per `admission` event, with the `br_compute`
+//! events sharing its `req` id nested inside, on one synthetic track per
+//! cell.
+//!
+//! Timelines are synthesized: all spans of one admission test share a
+//! single sim-time instant and only carry wall-clock *durations*, so real
+//! timestamps do not exist in the stream. Each cell's track keeps a
+//! cursor that advances by every span placed on it (plus a 1 µs gap), and
+//! children are laid out back-to-back from their parent's start — widths
+//! are faithful, offsets are synthetic. Sim-time is preserved in each
+//! span's `args.sim_t` for correlation.
+//!
+//! Like `obsfold`, pairing is streaming (children buffer under their
+//! `req` until the parent admission arrives), so the stream should come
+//! from a single-threaded run.
+
+use std::collections::BTreeMap;
+
+use qres_json::Value;
+
+/// Nanoseconds of synthetic idle space between consecutive spans on one
+/// cell track, so adjacent admission tests stay visually distinct.
+const TRACK_GAP_NS: u64 = 1_000;
+
+/// The `pid` all synthetic tracks live under.
+const PID: u64 = 1;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Microseconds (the trace format's `ts`/`dur` unit) from nanoseconds.
+fn us(ns: u64) -> Value {
+    Value::Float(ns as f64 / 1_000.0)
+}
+
+/// One buffered `br_compute` child.
+struct PendingBr {
+    cell: u64,
+    dur_ns: u64,
+    memo_hits: u64,
+    recomputed: u64,
+}
+
+/// Converts a JSONL event stream into a trace-event JSON document.
+///
+/// Returns the document as a [`Value`]; serialize with
+/// [`Value::to_compact_string`]. Events other than
+/// `admission`/`br_compute` are ignored.
+pub fn perfetto_trace(jsonl: &str) -> Result<Value, String> {
+    let mut events: Vec<Value> = vec![obj(vec![
+        ("name", Value::Str("process_name".into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::UInt(PID)),
+        (
+            "args",
+            obj(vec![("name", Value::Str("qres reservation system".into()))]),
+        ),
+    ])];
+    // Per-cell synthetic-track cursors (ns). BTreeMap: tracks get their
+    // metadata emitted in cell order.
+    let mut cursors: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut pending: BTreeMap<u64, Vec<PendingBr>> = BTreeMap::new();
+    let mut spans: Vec<Value> = Vec::new();
+
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let value =
+            Value::parse(line).map_err(|e| format!("line {}: not valid JSON: {e}", lineno + 1))?;
+        let Some(Value::Str(tag)) = value.get("type") else {
+            return Err(format!("line {}: event has no string `type`", lineno + 1));
+        };
+        match tag.as_str() {
+            "br_compute" => {
+                pending
+                    .entry(get_u64(&value, "req").unwrap_or(0))
+                    .or_default()
+                    .push(PendingBr {
+                        cell: get_u64(&value, "cell").unwrap_or(0),
+                        dur_ns: get_u64(&value, "dur_ns").unwrap_or(0),
+                        memo_hits: get_u64(&value, "memo_hits").unwrap_or(0),
+                        recomputed: get_u64(&value, "recomputed").unwrap_or(0),
+                    });
+            }
+            "admission" => {
+                let cell = get_u64(&value, "cell").unwrap_or(0);
+                let req = get_u64(&value, "req").unwrap_or(0);
+                let dur_ns = get_u64(&value, "dur_ns").unwrap_or(0);
+                let children = pending.remove(&req).unwrap_or_default();
+                let child_sum: u64 = children.iter().map(|c| c.dur_ns).sum();
+                // Clocks are read independently; stretch the parent if the
+                // children overshoot so nesting stays well-formed.
+                let span_ns = dur_ns.max(child_sum);
+                let start = *cursors.entry(cell).or_insert(0);
+                let scheme = match value.get("scheme") {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => "unknown".to_string(),
+                };
+                spans.push(obj(vec![
+                    ("name", Value::Str(format!("admission {scheme}"))),
+                    ("cat", Value::Str("admission".into())),
+                    ("ph", Value::Str("X".into())),
+                    ("pid", Value::UInt(PID)),
+                    ("tid", Value::UInt(cell)),
+                    ("ts", us(start)),
+                    ("dur", us(span_ns)),
+                    (
+                        "args",
+                        obj(vec![
+                            ("req", Value::UInt(req)),
+                            (
+                                "sim_t",
+                                value.get("t").cloned().unwrap_or(Value::Float(0.0)),
+                            ),
+                            (
+                                "admitted",
+                                value.get("admitted").cloned().unwrap_or(Value::Null),
+                            ),
+                            ("br", value.get("br").cloned().unwrap_or(Value::Null)),
+                        ]),
+                    ),
+                ]));
+                // Children back-to-back from the parent's start, on the
+                // parent's track so Perfetto nests them.
+                let mut child_start = start;
+                for c in &children {
+                    spans.push(obj(vec![
+                        ("name", Value::Str(format!("br_compute cell {}", c.cell))),
+                        ("cat", Value::Str("br_compute".into())),
+                        ("ph", Value::Str("X".into())),
+                        ("pid", Value::UInt(PID)),
+                        ("tid", Value::UInt(cell)),
+                        ("ts", us(child_start)),
+                        ("dur", us(c.dur_ns)),
+                        (
+                            "args",
+                            obj(vec![
+                                ("req", Value::UInt(req)),
+                                ("target_cell", Value::UInt(c.cell)),
+                                ("memo_hits", Value::UInt(c.memo_hits)),
+                                ("recomputed", Value::UInt(c.recomputed)),
+                            ]),
+                        ),
+                    ]));
+                    child_start += c.dur_ns;
+                }
+                cursors.insert(cell, start + span_ns + TRACK_GAP_NS);
+            }
+            _ => {}
+        }
+    }
+
+    // Orphaned children (truncated stream): own span on their own track.
+    for brs in pending.into_values() {
+        for c in brs {
+            let start = *cursors.entry(c.cell).or_insert(0);
+            spans.push(obj(vec![
+                ("name", Value::Str("br_compute (orphan)".into())),
+                ("cat", Value::Str("br_compute".into())),
+                ("ph", Value::Str("X".into())),
+                ("pid", Value::UInt(PID)),
+                ("tid", Value::UInt(c.cell)),
+                ("ts", us(start)),
+                ("dur", us(c.dur_ns)),
+                ("args", obj(vec![("target_cell", Value::UInt(c.cell))])),
+            ]));
+            cursors.insert(c.cell, start + c.dur_ns + TRACK_GAP_NS);
+        }
+    }
+
+    for &cell in cursors.keys() {
+        events.push(obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::UInt(PID)),
+            ("tid", Value::UInt(cell)),
+            (
+                "args",
+                obj(vec![("name", Value::Str(format!("cell {cell}")))]),
+            ),
+        ]));
+    }
+    events.extend(spans);
+
+    Ok(obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ]))
+}
+
+fn get_u64(v: &Value, key: &str) -> Option<u64> {
+    match v.get(key)? {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        Value::Float(f) if *f >= 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_events(doc: &Value) -> &[Value] {
+        match doc.get("traceEvents") {
+            Some(Value::Array(a)) => a,
+            _ => panic!("no traceEvents array"),
+        }
+    }
+
+    #[test]
+    fn nests_children_inside_their_admission_span() {
+        let jsonl = concat!(
+            r#"{"type":"br_compute","t":1.0,"cell":7,"req":1,"memo_hits":0,"recomputed":2,"br":3.0,"dur_ns":400}"#,
+            "\n",
+            r#"{"type":"admission","t":1.0,"cell":7,"req":1,"scheme":"AC3","admitted":true,"blocked_by_neighbor":null,"br":3.0,"dur_ns":1000}"#,
+            "\n",
+        );
+        let doc = perfetto_trace(jsonl).unwrap();
+        let events = trace_events(&doc);
+        // process_name + thread_name + 2 spans.
+        assert_eq!(events.len(), 4);
+        let spans: Vec<&Value> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(Value::Str(p)) if p == "X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let parent = spans
+            .iter()
+            .find(|s| matches!(s.get("cat"), Some(Value::Str(c)) if c == "admission"))
+            .unwrap();
+        let child = spans
+            .iter()
+            .find(|s| matches!(s.get("cat"), Some(Value::Str(c)) if c == "br_compute"))
+            .unwrap();
+        // Same synthetic track, same start, child no longer than parent.
+        assert_eq!(parent.get("tid"), child.get("tid"));
+        assert_eq!(parent.get("ts"), child.get("ts"));
+        let (Some(Value::Float(pd)), Some(Value::Float(cd))) =
+            (parent.get("dur"), child.get("dur"))
+        else {
+            panic!("durations must be numbers")
+        };
+        assert!(cd <= pd);
+        // The document serializes (what the CLI writes to disk).
+        assert!(doc.to_compact_string().starts_with('{'));
+    }
+
+    #[test]
+    fn cursors_advance_per_cell_and_parent_stretches_to_cover_children() {
+        let jsonl = concat!(
+            r#"{"type":"br_compute","t":1.0,"cell":2,"req":1,"dur_ns":900}"#,
+            "\n",
+            r#"{"type":"admission","t":1.0,"cell":2,"req":1,"scheme":"AC1","admitted":true,"br":0.0,"dur_ns":500}"#,
+            "\n",
+            r#"{"type":"admission","t":2.0,"cell":2,"req":2,"scheme":"AC1","admitted":true,"br":0.0,"dur_ns":100}"#,
+            "\n",
+        );
+        let doc = perfetto_trace(jsonl).unwrap();
+        let admissions: Vec<&Value> = trace_events(&doc)
+            .iter()
+            .filter(|e| matches!(e.get("cat"), Some(Value::Str(c)) if c == "admission"))
+            .collect();
+        assert_eq!(admissions.len(), 2);
+        // First parent stretched to its 900 ns child.
+        assert_eq!(admissions[0].get("dur"), Some(&Value::Float(0.9)));
+        // Second admission starts after span (900) + gap (1000) = 1.9 µs.
+        assert_eq!(admissions[1].get("ts"), Some(&Value::Float(1.9)));
+    }
+}

@@ -153,4 +153,62 @@ mod tests {
         a.merge(&b);
         assert_eq!(a, all);
     }
+
+    #[test]
+    fn merge_with_disjoint_octaves() {
+        // The per-cell shards of `qres-obs` merge histograms whose
+        // populations live in completely different octaves (a quiet
+        // cell's ~1 µs admission tests vs. a hot cell's ~1 ms ones).
+        // Merging must preserve both sub-populations exactly: counts per
+        // bucket, totals, and both ends of the quantile range.
+        let mut low = LogLinearHistogram::new();
+        let mut high = LogLinearHistogram::new();
+        for i in 0..100u64 {
+            low.add(1_000 + i); // octave of 2^10
+            high.add(1_000_000 + 1_000 * i); // octave of 2^20
+        }
+        let low_buckets = low.nonzero_buckets();
+        let high_buckets = high.nonzero_buckets();
+        // Genuinely disjoint: no bucket appears in both.
+        for (ub, _) in &low_buckets {
+            assert!(high_buckets.iter().all(|(hb, _)| hb != ub));
+        }
+
+        let mut merged = low.clone();
+        merged.merge(&high);
+        assert_eq!(merged.count(), 200);
+        assert_eq!(merged.sum(), low.sum() + high.sum());
+        // Every source bucket survives with its exact count.
+        let merged_buckets = merged.nonzero_buckets();
+        for (ub, n) in low_buckets.iter().chain(&high_buckets) {
+            assert_eq!(
+                merged_buckets
+                    .iter()
+                    .find(|(mb, _)| mb == ub)
+                    .map(|(_, m)| m),
+                Some(n),
+                "bucket {ub} lost samples in the merge"
+            );
+        }
+        // The low population owns the lower half of the quantile range,
+        // the high population the upper half; each keeps its error bound.
+        let p25 = merged.value_at_quantile(0.25).unwrap() as f64;
+        let p75 = merged.value_at_quantile(0.75).unwrap() as f64;
+        assert!((p25 - 1_025.0).abs() / 1_025.0 <= 0.0625, "p25 = {p25}");
+        assert!(
+            (p75 - 1_050_000.0).abs() / 1_050_000.0 <= 0.0625,
+            "p75 = {p75}"
+        );
+        // Merging in the other order is identical.
+        let mut merged_rev = high.clone();
+        merged_rev.merge(&low);
+        assert_eq!(merged_rev, merged);
+        // Merging an empty histogram is a no-op in both directions.
+        let mut copy = merged.clone();
+        copy.merge(&LogLinearHistogram::new());
+        assert_eq!(copy, merged);
+        let mut empty = LogLinearHistogram::new();
+        empty.merge(&merged);
+        assert_eq!(empty, merged);
+    }
 }

@@ -1,9 +1,10 @@
 #!/bin/bash
 # Runs the perf-tracking micro-benchmarks and writes a JSON snapshot
-# (default BENCH_03.json): the `reservation_b_i0` batched-vs-naive pairs at
+# (default BENCH_04.json): the `reservation_b_i0` batched-vs-naive pairs at
 # populations 10/50/100/200, the end-to-end sweep wall-clock over the
-# paper's 10-point load grid (parallel and sequential runners), and the
-# telemetry overhead pair (`obs_overhead/disabled` vs `enabled`).
+# paper's 10-point load grid (parallel and sequential runners), the
+# telemetry overhead pair (`obs_overhead/disabled` vs `enabled`), and the
+# p99 of the instrumented hot-path histograms (`obs_hist_p99/...`).
 #
 # Each qres-microbench harness prints machine-readable `BENCH {...}` lines;
 # this script collects them, adds the batched/naive speedup summary and the
@@ -11,10 +12,16 @@
 # along the perf trajectory. The disabled-telemetry delta is the PR 3
 # acceptance number: it must stay under 2%.
 #
+# Regression gate: the p99 of `qres_admission_test_ns` and
+# `qres_br_compute_ns` is diffed against the newest previous BENCH_*.json
+# that recorded them; a regression above 10% fails the script (exit 1).
+# Tail latency of the admission/B_r paths is the paper's N_calc story in
+# wall-clock form — it should only move when an optimization PR means it to.
+#
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_03.json}"
+out="${1:-BENCH_04.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -23,7 +30,7 @@ cargo bench -q -p qres-bench --bench end_to_end sweep_10pt_grid 2>&1 | tee -a "$
 cargo bench -q -p qres-bench --bench obs_overhead obs_overhead 2>&1 | tee -a "$raw"
 
 python3 - "$raw" "$out" <<'PY'
-import json, sys
+import glob, json, re, sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 entries = []
@@ -32,7 +39,10 @@ for line in open(raw_path):
     if line.startswith("BENCH "):
         entries.append(json.loads(line[len("BENCH "):]))
 
+# The harness may report an id several times (the obs_hist_p99 lines are
+# printed once per sample round); keep the final measurement for each.
 by_id = {e["id"]: e for e in entries}
+entries = list(by_id.values())
 speedups = {}
 for pop in (10, 50, 100, 200):
     batched = by_id.get(f"reservation_b_i0/batched/{pop}")
@@ -51,14 +61,61 @@ if disabled and enabled:
         "overhead_pct": round((e - d) / d * 100.0, 2),
     }
 
+# --- p99 regression gate against the previous snapshot -------------------
+GATED = ("obs_hist_p99/qres_admission_test_ns", "obs_hist_p99/qres_br_compute_ns")
+THRESHOLD_PCT = 10.0
+
+def snapshot_number(path):
+    m = re.search(r"BENCH_(\d+)\.json$", path)
+    return int(m.group(1)) if m else -1
+
+previous = None
+for path in sorted(glob.glob("BENCH_*.json"), key=snapshot_number, reverse=True):
+    if path == out_path:
+        continue
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError):
+        continue
+    prev_ids = {b["id"]: b for b in doc.get("benchmarks", [])}
+    if any(g in prev_ids for g in GATED):
+        previous = (path, prev_ids)
+        break
+
+p99_gate = {"previous_snapshot": previous[0] if previous else None, "diffs": {}}
+failures = []
+for gid in GATED:
+    cur = by_id.get(gid)
+    if cur is None:
+        continue
+    prev = previous[1].get(gid) if previous else None
+    if prev is None:
+        p99_gate["diffs"][gid] = {"p99_ns": cur["ns_per_iter"], "delta_pct": None}
+        continue
+    delta = (cur["ns_per_iter"] - prev["ns_per_iter"]) / prev["ns_per_iter"] * 100.0
+    p99_gate["diffs"][gid] = {
+        "p99_ns": cur["ns_per_iter"],
+        "previous_p99_ns": prev["ns_per_iter"],
+        "delta_pct": round(delta, 2),
+    }
+    if delta > THRESHOLD_PCT:
+        failures.append(f"{gid}: p99 {prev['ns_per_iter']:.0f} -> "
+                        f"{cur['ns_per_iter']:.0f} ns (+{delta:.1f}% > {THRESHOLD_PCT}%)")
+
 doc = {
-    "suite": "qres perf snapshot 03",
+    "suite": "qres perf snapshot 04",
     "benchmarks": entries,
     "b_i0_speedup_batched_over_naive": speedups,
     "obs_overhead": obs,
+    "p99_gate": p99_gate,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}: {len(entries)} benchmarks, speedups {speedups}, obs {obs}")
+print(f"p99 gate vs {p99_gate['previous_snapshot']}: {p99_gate['diffs']}")
+if failures:
+    for f in failures:
+        print(f"P99 REGRESSION: {f}", file=sys.stderr)
+    sys.exit(1)
 PY

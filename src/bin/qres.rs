@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! qres template [stationary|time-varying|wired]   print a scenario template
-//! qres run <scenario.json> [--json] [--obs]       run one scenario
-//! qres sweep <scenario.json> --loads 60,120,300 [--obs]
+//! qres run <scenario.json> [--json] [--obs] [--obs-sample N]
+//! qres sweep <scenario.json> --loads 60,120,300 [--obs] [--obs-sample N]
+//! qres serve <scenario.json> [--addr HOST:PORT] [--loads ...]
+//!            [--sequential] [--linger-secs N] [--obs-sample N]
 //! qres obslint <snapshot.prom>                    lint a Prometheus snapshot
-//! qres obscheck <events.jsonl> [--all-types]      check an event stream
+//! qres obscheck <events.jsonl> [--all-types] [--monotonic]
+//! qres obsfold <events.jsonl>                     folded stacks (flamegraph)
+//! qres obstrace <events.jsonl> [-o trace.json]    Perfetto trace JSON
 //! ```
 //!
 //! A scenario file is the JSON form of [`qres::sim::Scenario`]; start from
@@ -17,8 +21,21 @@
 //! and writes `obs_snapshot.prom` (Prometheus text exposition) and
 //! `obs_events.jsonl` (the structured event stream) into the working
 //! directory; with `--json` the telemetry snapshot is also merged into the
-//! report under an `"obs"` key. `obslint` and `obscheck` validate those
-//! two artifacts — CI runs them against a short `--obs` smoke simulation.
+//! report under an `"obs"` key. `--obs-sample N` keeps only every N-th
+//! debug-tier high-frequency event (`br_compute`, `backbone_send`).
+//!
+//! `serve` runs a sweep with the live scrape endpoint attached: while the
+//! sweep executes, `GET /metrics` (Prometheus exposition, with per-cell
+//! `qres_admission_test_ns{cell="..."}` series), `GET /metrics.json`, and
+//! `GET /healthz` answer on `--addr` (default `127.0.0.1:9464`), and the
+//! `qres_sweep_points_{planned,done}_total` counters track progress.
+//!
+//! `obslint` and `obscheck` validate the `--obs` artifacts — CI runs them
+//! against a short `--obs` smoke simulation. `obsfold` and `obstrace`
+//! render the event stream for `flamegraph.pl`/inferno and
+//! `ui.perfetto.dev`; both pair `br_compute` spans with their `admission`
+//! parent via the shared `req` id and assume a single-threaded stream
+//! (`run`, or `serve --sequential`).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -38,15 +55,22 @@ fn main() -> ExitCode {
         Some("template") => template(args.get(1).map(String::as_str)),
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("obslint") => obslint(&args[1..]),
         Some("obscheck") => obscheck(&args[1..]),
+        Some("obsfold") => obsfold(&args[1..]),
+        Some("obstrace") => obstrace(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  qres template [stationary|time-varying|wired]\n  \
-                 qres run <scenario.json> [--json] [--obs]\n  \
-                 qres sweep <scenario.json> --loads 60,120,300 [--obs]\n  \
+                 qres run <scenario.json> [--json] [--obs] [--obs-sample N]\n  \
+                 qres sweep <scenario.json> --loads 60,120,300 [--obs] [--obs-sample N]\n  \
+                 qres serve <scenario.json> [--addr HOST:PORT] [--loads ...] \
+                 [--sequential] [--linger-secs N] [--obs-sample N]\n  \
                  qres obslint <snapshot.prom>\n  \
-                 qres obscheck <events.jsonl> [--all-types]"
+                 qres obscheck <events.jsonl> [--all-types] [--monotonic]\n  \
+                 qres obsfold <events.jsonl>\n  \
+                 qres obstrace <events.jsonl> [-o trace.json]"
             );
             ExitCode::from(2)
         }
@@ -80,10 +104,37 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
     Ok(scenario)
 }
 
+/// The value following a `--flag`, if the flag is present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses `--obs-sample N` (keep every N-th debug-tier high-frequency
+/// event) and programs the recorder. `None` when the flag is absent.
+fn obs_sample_setup(args: &[String]) -> Result<Option<u64>, String> {
+    let Some(raw) = flag_value(args, "--obs-sample") else {
+        if args.iter().any(|a| a == "--obs-sample") {
+            return Err("--obs-sample requires a value".into());
+        }
+        return Ok(None);
+    };
+    let n: u64 = raw
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("--obs-sample expects an integer >= 1, got `{raw}`"))?;
+    qres::obs::set_sample_every(n);
+    Ok(Some(n))
+}
+
 /// Handles `--obs`: switches the recorder on at debug level and routes
 /// ring overflow to [`OBS_JSONL_PATH`] so the event stream stays complete.
 /// Returns whether telemetry is on for this invocation.
 fn obs_setup(args: &[String]) -> Result<bool, String> {
+    obs_sample_setup(args)?;
     if !args.iter().any(|a| a == "--obs") {
         return Ok(false);
     }
@@ -151,6 +202,24 @@ fn run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--loads 60,120,300`, defaulting to the paper's load grid.
+fn parse_loads(args: &[String]) -> Result<Vec<f64>, String> {
+    match args.iter().position(|a| a == "--loads") {
+        Some(i) => match args.get(i + 1) {
+            Some(list) => {
+                let parsed: Result<Vec<f64>, _> =
+                    list.split(',').map(str::trim).map(str::parse).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() => Ok(v),
+                    _ => Err("--loads expects a comma-separated list of numbers".into()),
+                }
+            }
+            None => Err("--loads requires a value".into()),
+        },
+        None => Ok(qres::sim::runner::paper_load_grid()),
+    }
+}
+
 fn sweep(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!("qres sweep <scenario.json> --loads 60,120,300 [--obs]");
@@ -163,25 +232,12 @@ fn sweep(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let loads: Vec<f64> = match args.iter().position(|a| a == "--loads") {
-        Some(i) => match args.get(i + 1) {
-            Some(list) => {
-                let parsed: Result<Vec<f64>, _> =
-                    list.split(',').map(str::trim).map(str::parse).collect();
-                match parsed {
-                    Ok(v) if !v.is_empty() => v,
-                    _ => {
-                        eprintln!("--loads expects a comma-separated list of numbers");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            None => {
-                eprintln!("--loads requires a value");
-                return ExitCode::from(2);
-            }
-        },
-        None => qres::sim::runner::paper_load_grid(),
+    let loads = match parse_loads(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
     };
     let base = match load_scenario(path) {
         Ok(s) => s,
@@ -190,6 +246,19 @@ fn sweep(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let points = qres::sim::sweep_offered_load(&base, &loads);
+    print!("{}", sweep_table(&points));
+    if obs {
+        if let Err(e) = obs_finish(false) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Renders sweep points as the standard load/P_CB/P_HD/... table.
+fn sweep_table(points: &[qres::sim::runner::SweepPoint]) -> String {
     let mut table = SeriesTable::new(
         "load",
         vec![
@@ -200,7 +269,7 @@ fn sweep(args: &[String]) -> ExitCode {
             "N_calc".into(),
         ],
     );
-    for point in qres::sim::sweep_offered_load(&base, &loads) {
+    for point in points {
         let r = &point.result;
         table.push_row(
             point.offered_load,
@@ -213,13 +282,86 @@ fn sweep(args: &[String]) -> ExitCode {
             ],
         );
     }
-    print!("{}", table.render());
-    if obs {
-        if let Err(e) = obs_finish(false) {
+    table.render()
+}
+
+/// `qres serve`: a sweep with the live HTTP scrape endpoint attached.
+///
+/// Telemetry is always on here (that is the point), spilling to
+/// [`OBS_JSONL_PATH`] and writing [`OBS_PROM_PATH`] at the end, exactly
+/// like `sweep --obs`. `--sequential` uses the single-threaded sweep so
+/// the event stream satisfies the `obsfold`/`obstrace` pairing assumption
+/// (and, with a single `--loads` point, `obscheck --monotonic`);
+/// `--linger-secs N` keeps the
+/// endpoint up after the sweep so a scraper can collect the final state.
+fn serve(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!(
+            "qres serve <scenario.json> [--addr HOST:PORT] [--loads 60,120,300] \
+             [--sequential] [--linger-secs N] [--obs-sample N]"
+        );
+        return ExitCode::from(2);
+    };
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:9464");
+    let sequential = args.iter().any(|a| a == "--sequential");
+    let linger_secs: u64 = match flag_value(args, "--linger-secs").map(str::parse) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--linger-secs expects an integer number of seconds");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = obs_sample_setup(args) {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    qres::obs::set_level(qres::obs::Level::Debug);
+    if let Err(e) = qres::obs::set_spill_path(Path::new(OBS_JSONL_PATH)) {
+        eprintln!("cannot create {OBS_JSONL_PATH}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let loads = match parse_loads(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = match load_scenario(path) {
+        Ok(s) => s,
+        Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+    };
+    let server = match qres::obs::ObsServer::start(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[obs] serving http://{}/metrics (.json, /healthz) for {} sweep point(s)",
+        server.addr(),
+        loads.len()
+    );
+    let points = if sequential {
+        qres::sim::runner::sweep_offered_load_sequential(&base, &loads)
+    } else {
+        qres::sim::sweep_offered_load(&base, &loads)
+    };
+    print!("{}", sweep_table(&points));
+    if let Err(e) = obs_finish(false) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
+    if linger_secs > 0 {
+        eprintln!("[obs] sweep done; endpoint stays up for {linger_secs} s");
+        std::thread::sleep(std::time::Duration::from_secs(linger_secs));
+    }
+    server.shutdown();
     ExitCode::SUCCESS
 }
 
@@ -264,13 +406,20 @@ const OBS_REQUIRED_GROUPS: [&[&str]; 6] = [
 /// Checks that every line of an `--obs` event stream parses back through
 /// `qres-json` as an object tagged with `"type"` and stamped with `"t"`.
 /// With `--all-types`, additionally requires every event group of
-/// [`OBS_REQUIRED_GROUPS`] to appear at least once.
+/// [`OBS_REQUIRED_GROUPS`] to appear at least once. With `--monotonic`,
+/// additionally requires sim-time to never decrease — globally (the
+/// ring→JSONL spill must preserve recording order) and per cell. Only a
+/// single-run stream satisfies this (`qres run --obs`, or `qres serve
+/// --sequential` with one `--loads` point): parallel sweeps interleave
+/// points' events, and even a sequential multi-point sweep restarts
+/// sim-time at zero for every point.
 fn obscheck(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
-        eprintln!("qres obscheck <events.jsonl> [--all-types]");
+        eprintln!("qres obscheck <events.jsonl> [--all-types] [--monotonic]");
         return ExitCode::from(2);
     };
     let all_types = args.iter().any(|a| a == "--all-types");
+    let monotonic = args.iter().any(|a| a == "--monotonic");
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -280,6 +429,9 @@ fn obscheck(args: &[String]) -> ExitCode {
     };
     let mut counts: Vec<(String, u64)> = Vec::new();
     let mut total = 0u64;
+    let mut last_t_global = f64::NEG_INFINITY;
+    let mut last_t_per_cell: std::collections::BTreeMap<u64, f64> =
+        std::collections::BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -291,7 +443,7 @@ fn obscheck(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let qres_json::Value::Object(fields) = value else {
+        let qres_json::Value::Object(fields) = &value else {
             eprintln!("{path}:{}: event is not a JSON object", lineno + 1);
             return ExitCode::FAILURE;
         };
@@ -299,9 +451,46 @@ fn obscheck(args: &[String]) -> ExitCode {
             eprintln!("{path}:{}: event has no string \"type\" field", lineno + 1);
             return ExitCode::FAILURE;
         };
-        if !fields.iter().any(|(k, _)| k == "t") {
-            eprintln!("{path}:{}: event has no \"t\" timestamp", lineno + 1);
-            return ExitCode::FAILURE;
+        let t = match value.get("t") {
+            Some(qres_json::Value::Float(f)) => *f,
+            Some(qres_json::Value::Int(n)) => *n as f64,
+            Some(qres_json::Value::UInt(n)) => *n as f64,
+            _ => {
+                eprintln!(
+                    "{path}:{}: event has no numeric \"t\" timestamp",
+                    lineno + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        if monotonic {
+            if t < last_t_global {
+                eprintln!(
+                    "{path}:{}: sim-time went backwards ({t} after {last_t_global}) — \
+                     spill ordering violated, or the stream holds more than one run \
+                     (each sweep point restarts sim-time; use `qres run --obs` or a \
+                     one-point `qres serve --sequential` for monotonic streams)",
+                    lineno + 1
+                );
+                return ExitCode::FAILURE;
+            }
+            last_t_global = t;
+            let cell = match value.get("cell") {
+                Some(qres_json::Value::UInt(c)) => Some(*c),
+                Some(qres_json::Value::Int(c)) if *c >= 0 => Some(*c as u64),
+                _ => None,
+            };
+            if let Some(c) = cell {
+                let last = last_t_per_cell.entry(c).or_insert(f64::NEG_INFINITY);
+                if t < *last {
+                    eprintln!(
+                        "{path}:{}: sim-time went backwards within cell {c} ({t} after {last})",
+                        lineno + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+                *last = t;
+            }
         }
         match counts.iter_mut().find(|(k, _)| k == tag) {
             Some((_, n)) => *n += 1,
@@ -323,6 +512,80 @@ fn obscheck(args: &[String]) -> ExitCode {
     }
     counts.sort();
     let summary: Vec<String> = counts.iter().map(|(k, n)| format!("{k}={n}")).collect();
-    println!("{path}: ok ({total} events: {})", summary.join(" "));
+    let checks = if monotonic {
+        ", sim-time monotonic"
+    } else {
+        ""
+    };
+    println!("{path}: ok ({total} events: {}{checks})", summary.join(" "));
     ExitCode::SUCCESS
+}
+
+/// Renders the event stream as folded stacks for `flamegraph.pl` /
+/// `inferno-flamegraph` (written to stdout, ready to pipe).
+fn obsfold(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("qres obsfold <events.jsonl>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match qres::obs::folded_stacks(&text) {
+        Ok(folded) if folded.is_empty() => {
+            eprintln!("{path}: no admission/br_compute events to fold");
+            ExitCode::FAILURE
+        }
+        Ok(folded) => {
+            print!("{folded}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders the event stream as Perfetto-importable trace-event JSON
+/// (stdout, or `-o <file>`).
+fn obstrace(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("qres obstrace <events.jsonl> [-o trace.json]");
+        return ExitCode::from(2);
+    };
+    let out_path = flag_value(args, "-o");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match qres::obs::perfetto_trace(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = doc.to_compact_string();
+    match out_path {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &rendered) {
+                eprintln!("writing {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[obs] trace -> {out} (open at ui.perfetto.dev)");
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("{rendered}");
+            ExitCode::SUCCESS
+        }
+    }
 }

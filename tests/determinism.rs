@@ -67,7 +67,8 @@ fn workload_is_scheme_independent() {
 }
 
 /// The telemetry recorder is strictly passive: enabling it at the most
-/// verbose level changes no simulation outcome. Every metric of the paper
+/// verbose level — with the live HTTP scrape endpoint attached and being
+/// polled — changes no simulation outcome. Every metric of the paper
 /// comes out bit-identical with the recorder on and off.
 #[test]
 fn recorder_does_not_perturb_outcomes() {
@@ -78,9 +79,32 @@ fn recorder_does_not_perturb_outcomes() {
         .seed(77);
     qres::obs::set_level(qres::obs::Level::Off);
     let off = run_scenario(&s);
+    // The scrape server reads the registry concurrently over relaxed
+    // atomics; keep it attached (and actively rendering) for the whole
+    // obs-on run to prove scraping cannot perturb outcomes either.
+    let server = qres::obs::ObsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.addr();
+    let scraper = std::thread::spawn(move || {
+        use std::io::{Read, Write};
+        let mut bodies = 0usize;
+        for _ in 0..20 {
+            let Ok(mut conn) = std::net::TcpStream::connect(addr) else {
+                break;
+            };
+            conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.1 200"), "scrape failed");
+            bodies += 1;
+        }
+        bodies
+    });
     qres::obs::set_level(qres::obs::Level::Debug);
     let on = run_scenario(&s);
     qres::obs::set_level(qres::obs::Level::Off);
+    assert_eq!(scraper.join().expect("scraper thread"), 20);
+    server.shutdown();
     let (events, _) = qres::obs::drain_events();
     qres::obs::reset();
     qres::obs::reset_metrics();
