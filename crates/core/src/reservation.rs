@@ -18,8 +18,8 @@
 use qres_cellnet::{Cell, CellId};
 use qres_des::{Duration, SimTime};
 use qres_mobility::{
-    batched_contribution, handoff_probability, known_next_probability, ConnQuery, HandoffQuery,
-    HoeCache,
+    batched_contribution, batched_contribution_probs, handoff_probability, known_next_probability,
+    ConnQuery, HandoffQuery, HoeCache,
 };
 
 /// Computes one neighbor's contribution `B_i,0` (Eq. 5): the fractional
@@ -59,6 +59,42 @@ pub fn neighbor_contribution(
         .collect();
     if qres_obs::enabled() {
         qres_obs::metrics::B_I0_EVALS_TOTAL.add(conns.len() as u64);
+        // Calibration read-out: capture each connection's Eq.-4 forecast
+        // alongside the sum. The probs variant is bit-identical on the
+        // total, and staging is a thread-local push — the forecasts move
+        // into the global calibration store later, in `compute_br`, after
+        // the timing record ([`qres_obs::flush_staged`]).
+        thread_local! {
+            static PROBS: std::cell::RefCell<Vec<f64>> = std::cell::RefCell::default();
+        }
+        return PROBS.with(|p| {
+            let mut probs = p.borrow_mut();
+            let total = batched_contribution_probs(
+                neighbor_cache,
+                now,
+                target,
+                t_est_of_target,
+                &conns,
+                &mut probs,
+            );
+            let deadline = now.as_secs() + t_est_of_target.as_secs();
+            for (conn, &p_h) in neighbor_cell.connections().zip(probs.iter()) {
+                // Declared toward another cell: not a forecast about
+                // `target`, so nothing to calibrate.
+                if matches!(conn.known_next, Some(declared) if declared != target) {
+                    continue;
+                }
+                qres_obs::stage_prediction(
+                    neighbor_cell.id().0,
+                    target.0,
+                    conn.id.0,
+                    conn.prev.map(|c| c.0),
+                    p_h,
+                    deadline,
+                );
+            }
+            total
+        });
     }
     batched_contribution(neighbor_cache, now, target, t_est_of_target, &conns)
 }

@@ -295,6 +295,14 @@ impl ReservationSystem {
                 br,
                 dur_ns: elapsed.as_nanos() as u64,
             });
+            // The efficiency integral's view of the new target is staged
+            // thread-locally (no mutex): `compute_br` runs inside the
+            // admission-test timing window, so even post-`B_r`-record
+            // bookkeeping would land in `qres_admission_test_ns`. The
+            // staged updates — and the calibration forecasts staged by
+            // `neighbor_contribution` — publish after the admission
+            // timing record in `request_new_connection`.
+            qres_obs::qos::stage_br_update(target.0, br);
         }
         br
     }
@@ -371,6 +379,13 @@ impl ReservationSystem {
                 br: self.sites[req.cell.index()].last_br,
                 dur_ns: elapsed.as_nanos() as u64,
             });
+            // Publish the telemetry staged during the admission's
+            // `compute_br` calls (Eq.-4 calibration forecasts and `B_r`
+            // efficiency updates) outside the measured window: the one
+            // mutex acquisition per kind lands here, not in the
+            // admission/`B_r` histograms.
+            qres_obs::flush_staged(now.as_secs());
+            qres_obs::qos::flush_br_updates(now.as_secs());
         }
         if decision.is_admitted() {
             self.sites[req.cell.index()]
@@ -515,6 +530,14 @@ impl ReservationSystem {
             .get(id)
             .expect("hand-off of unknown connection");
         let fits = self.sites[to.index()].cell.fits(info.bandwidth) && !external_veto;
+        if qres_obs::enabled() {
+            // Resolve any live Eq.-4 forecasts about this connection
+            // (a hand-off out of `from` settles them, hit or miss) and
+            // attribute the attempted bandwidth to the target cell's
+            // reservation-efficiency ledger.
+            qres_obs::observe_attempt(id.0, from.0, to.0, now.as_secs());
+            qres_obs::qos::record_handoff_bw(to.0, info.bandwidth.as_f64(), !fits);
+        }
 
         if self.config.scheme.is_predictive() {
             // T_soj,max: the largest sojourn in the hand-off estimation
@@ -545,6 +568,21 @@ impl ReservationSystem {
             .cell
             .remove(id)
             .expect("connection disappeared mid-hand-off");
+        if qres_obs::enabled() {
+            // Hand-in occupancy integrals: the connection stops counting
+            // as hand-in load in `from` (if it arrived there by hand-off)
+            // and, on success, starts counting in `to`.
+            if removed.prev.is_some() {
+                qres_obs::qos::record_handin_remove(
+                    now.as_secs(),
+                    from.0,
+                    removed.bandwidth.as_f64(),
+                );
+            }
+            if fits {
+                qres_obs::qos::record_handin_add(now.as_secs(), to.0, removed.bandwidth.as_f64());
+            }
+        }
         if fits {
             // Record the quadruplet (successful departures only).
             self.sites[from.index()].hoe.record(HandoffEvent::new(
@@ -584,11 +622,24 @@ impl ReservationSystem {
 
     /// Ends a connection (lifetime expiry, or exit at a non-ring border):
     /// releases its bandwidth. Not a hand-off — no quadruplet is recorded.
-    pub fn end_connection(&mut self, _now: SimTime, id: ConnectionId, cell: CellId) {
-        self.sites[cell.index()]
+    pub fn end_connection(&mut self, now: SimTime, id: ConnectionId, cell: CellId) {
+        let removed = self.sites[cell.index()]
             .cell
             .remove(id)
             .expect("ending unknown connection");
+        if qres_obs::enabled() {
+            // The connection leaves the system: settle any live forecast
+            // about it (it will never hand off anywhere) and stop its
+            // hand-in occupancy clock.
+            qres_obs::observe_end(id.0, cell.0, now.as_secs());
+            if removed.prev.is_some() {
+                qres_obs::qos::record_handin_remove(
+                    now.as_secs(),
+                    cell.0,
+                    removed.bandwidth.as_f64(),
+                );
+            }
+        }
     }
 
     /// Mutable access to a cell's estimation cache (for examples and the

@@ -94,13 +94,60 @@ pub fn batched_contribution(
 ) -> f64 {
     if qres_obs::enabled() {
         let t0 = std::time::Instant::now();
-        let out = SCRATCH
-            .with(|s| batched_with_scratch(&mut s.borrow_mut(), cache, t_o, target, t_est, conns));
+        let out = SCRATCH.with(|s| {
+            batched_with_scratch(&mut s.borrow_mut(), cache, t_o, target, t_est, conns, None)
+        });
         qres_obs::metrics::BATCHED_CONTRIBUTION_NS.record_duration(t0.elapsed());
         out
     } else {
-        SCRATCH
-            .with(|s| batched_with_scratch(&mut s.borrow_mut(), cache, t_o, target, t_est, conns))
+        SCRATCH.with(|s| {
+            batched_with_scratch(&mut s.borrow_mut(), cache, t_o, target, t_est, conns, None)
+        })
+    }
+}
+
+/// [`batched_contribution`], additionally writing each connection's
+/// individual `p_h` into `probs_out` (cleared first; `probs_out[j]`
+/// corresponds to `conns[j]`, with `0.0` for connections that contribute
+/// nothing — declared toward another cell). The returned total is the
+/// same bit-identical sum; the per-connection read-out exists for the
+/// telemetry plane's prediction-calibration tracker, which wants the
+/// forecasts Eq. 5 was built from without re-deriving them.
+pub fn batched_contribution_probs(
+    cache: &mut HoeCache,
+    t_o: SimTime,
+    target: CellId,
+    t_est: Duration,
+    conns: &[ConnQuery],
+    probs_out: &mut Vec<f64>,
+) -> f64 {
+    if qres_obs::enabled() {
+        let t0 = std::time::Instant::now();
+        let out = SCRATCH.with(|s| {
+            batched_with_scratch(
+                &mut s.borrow_mut(),
+                cache,
+                t_o,
+                target,
+                t_est,
+                conns,
+                Some(probs_out),
+            )
+        });
+        qres_obs::metrics::BATCHED_CONTRIBUTION_NS.record_duration(t0.elapsed());
+        out
+    } else {
+        SCRATCH.with(|s| {
+            batched_with_scratch(
+                &mut s.borrow_mut(),
+                cache,
+                t_o,
+                target,
+                t_est,
+                conns,
+                Some(probs_out),
+            )
+        })
     }
 }
 
@@ -111,7 +158,12 @@ fn batched_with_scratch(
     target: CellId,
     t_est: Duration,
     conns: &[ConnQuery],
+    mut probs_out: Option<&mut Vec<f64>>,
 ) -> f64 {
+    if let Some(out) = probs_out.as_deref_mut() {
+        out.clear();
+        out.resize(conns.len(), 0.0);
+    }
     debug_assert!(t_est.as_secs() >= 0.0, "T_est cannot be negative");
     let Scratch {
         key_codes,
@@ -260,7 +312,11 @@ fn batched_with_scratch(
         if gi == SKIP {
             continue;
         }
-        total += c.bandwidth * probs[gi as usize][slot_of[j] as usize];
+        let p = probs[gi as usize][slot_of[j] as usize];
+        if let Some(out) = probs_out.as_deref_mut() {
+            out[j] = p;
+        }
+        total += c.bandwidth * p;
     }
     total
 }
@@ -388,6 +444,50 @@ mod tests {
             ],
         );
         assert!((five - 5.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probs_variant_matches_scalar_per_connection() {
+        let now = SimTime::from_secs(100.0);
+        let conns = [
+            conn(Some(1), None, 10.0, 4.0),
+            conn(Some(1), None, 35.0, 1.0),
+            conn(Some(1), Some(0), 10.0, 4.0), // declared toward target
+            conn(Some(1), Some(2), 10.0, 4.0), // declared elsewhere → 0
+            conn(None, None, 12.0, 1.0),
+        ];
+        let t_est = s(17.0);
+        let mut probs = vec![999.0; 2]; // stale garbage must be cleared
+        let total = batched_contribution_probs(
+            &mut trained_cache(),
+            now,
+            CellId(0),
+            t_est,
+            &conns,
+            &mut probs,
+        );
+        assert_eq!(probs.len(), conns.len());
+        assert_eq!(
+            total,
+            batched_contribution(&mut trained_cache(), now, CellId(0), t_est, &conns),
+            "probs read-out must not perturb the total"
+        );
+        let mut cache = trained_cache();
+        for (j, c) in conns.iter().enumerate() {
+            let query = HandoffQuery {
+                now,
+                prev: c.prev,
+                extant_sojourn: c.extant_sojourn,
+                next: CellId(0),
+                t_est,
+            };
+            let expect = match c.known_next {
+                Some(CellId(0)) => known_next_probability(&mut cache, query),
+                Some(_) => 0.0,
+                None => handoff_probability(&mut cache, query),
+            };
+            assert_eq!(probs[j], expect, "conn {j}");
+        }
     }
 
     #[test]

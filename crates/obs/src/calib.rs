@@ -1,0 +1,722 @@
+//! Eq.-4 prediction calibration: does the Bayes hand-off probability
+//! `p_h` actually predict hand-offs?
+//!
+//! Every per-connection probability emitted while computing `B_r`
+//! (Eqs. 5–6) is a falsifiable forecast: *this connection, now in cell
+//! `i`, hands into the target cell within `T_est` with probability `p`*.
+//! This module records those forecasts, matches them against the realized
+//! outcome, and aggregates the pairs into a 10-bin reliability diagram
+//! plus a Brier score — globally and per `prev`-cell (the strongest
+//! conditioning variable of the paper's quadruplet histories).
+//!
+//! ## Matching rules
+//!
+//! One pending forecast is kept per `(connection, target)` key:
+//!
+//! * A fresh forecast for the same key **supersedes** a live predecessor
+//!   (only counted, not scored — the model refreshed its estimate before
+//!   the outcome arrived); a predecessor whose deadline already passed is
+//!   first resolved as a **miss** (the window elapsed without a hand-off).
+//! * A hand-off *attempt* (admitted **or** dropped — the mobile moved
+//!   either way) resolves every pending forecast of that connection:
+//!   a **hit** iff it went to the forecast target at or before the
+//!   deadline; an attempt to a *different* neighbor, or past the
+//!   deadline, is a **miss**.
+//! * Connection completion resolves all its pending forecasts as
+//!   **misses** (it never handed into the target within the window).
+//! * [`sweep_expired`] resolves any forecast whose deadline has passed —
+//!   run it at end of simulation so dormant forecasts are scored.
+//!
+//! ## Hot-path staging
+//!
+//! Forecast capture happens inside `compute_br`, whose wall-clock cost is
+//! a gated metric (`qres_br_compute_ns`) — and `compute_br` itself runs
+//! inside the admission test's timed window (`qres_admission_test_ns`).
+//! To keep the bookkeeping out of both measured windows, producers
+//! *stage* forecasts into a thread-local buffer ([`stage_prediction`], a
+//! plain `Vec` push) and the caller flushes them into the global store
+//! after the *admission* timing record ([`flush_staged`], one mutex
+//! acquisition per admission).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use qres_json::Value;
+
+/// Number of reliability-diagram bins over `[0, 1]`.
+pub const CALIB_BINS: usize = 10;
+
+/// One staged Eq.-4 forecast, waiting to be flushed into the store.
+#[derive(Debug, Clone, Copy)]
+struct Staged {
+    cell: u32,
+    target: u32,
+    conn: u64,
+    /// `prev` cell of the quadruplet conditioning the forecast
+    /// (`-1` encodes "none": the connection started in `cell`).
+    prev: i64,
+    p: f64,
+    deadline: f64,
+}
+
+thread_local! {
+    static STAGING: RefCell<Vec<Staged>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Stages one per-connection forecast: connection `conn`, currently in
+/// `cell` (having previously been in `prev`), hands into `target` by
+/// sim-time `deadline` with probability `p`. Thread-local, lock-free;
+/// call [`flush_staged`] to publish.
+#[inline]
+pub fn stage_prediction(
+    cell: u32,
+    target: u32,
+    conn: u64,
+    prev: Option<u32>,
+    p: f64,
+    deadline: f64,
+) {
+    STAGING.with(|s| {
+        s.borrow_mut().push(Staged {
+            cell,
+            target,
+            conn,
+            prev: prev.map(i64::from).unwrap_or(-1),
+            p,
+            deadline,
+        })
+    });
+}
+
+/// Reliability-diagram accumulator: per-bin forecast count, forecast-mass
+/// sum and realized hits, plus the Brier sum over all resolved pairs.
+#[derive(Debug, Clone, Default)]
+pub struct CalibBins {
+    /// Resolved forecasts per bin (`bin = floor(p * 10)`, clamped).
+    pub n: [u64; CALIB_BINS],
+    /// Sum of forecast probabilities per bin.
+    pub sum_p: [f64; CALIB_BINS],
+    /// Realized hand-offs (hits) per bin.
+    pub hits: [u64; CALIB_BINS],
+    /// Sum of `(p - outcome)^2` over all resolved forecasts.
+    pub brier_sum: f64,
+}
+
+impl CalibBins {
+    fn score(&mut self, p: f64, hit: bool) {
+        let bin = ((p * CALIB_BINS as f64) as usize).min(CALIB_BINS - 1);
+        self.n[bin] += 1;
+        self.sum_p[bin] += p;
+        if hit {
+            self.hits[bin] += 1;
+        }
+        let outcome = if hit { 1.0 } else { 0.0 };
+        self.brier_sum += (p - outcome) * (p - outcome);
+    }
+
+    /// Total resolved forecasts.
+    pub fn count(&self) -> u64 {
+        self.n.iter().sum()
+    }
+
+    /// Mean Brier score; `None` with nothing resolved.
+    pub fn brier(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.brier_sum / n as f64)
+    }
+
+    fn to_json(&self) -> Value {
+        let bins: Vec<Value> = (0..CALIB_BINS)
+            .map(|b| {
+                Value::Object(vec![
+                    ("lo".into(), Value::Float(b as f64 / CALIB_BINS as f64)),
+                    (
+                        "hi".into(),
+                        Value::Float((b + 1) as f64 / CALIB_BINS as f64),
+                    ),
+                    ("n".into(), Value::UInt(self.n[b])),
+                    (
+                        "mean_p".into(),
+                        if self.n[b] > 0 {
+                            Value::Float(self.sum_p[b] / self.n[b] as f64)
+                        } else {
+                            Value::Null
+                        },
+                    ),
+                    (
+                        "hit_rate".into(),
+                        if self.n[b] > 0 {
+                            Value::Float(self.hits[b] as f64 / self.n[b] as f64)
+                        } else {
+                            Value::Null
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("n".into(), Value::UInt(self.count())),
+            (
+                "brier".into(),
+                self.brier().map(Value::Float).unwrap_or(Value::Null),
+            ),
+            ("bins".into(), Value::Array(bins)),
+        ])
+    }
+}
+
+/// How a pending forecast was resolved (for the outcome counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Hit,
+    WrongTarget,
+    Expired,
+    Ended,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    conn: u64,
+    prev: i64,
+    p: f64,
+    deadline: f64,
+}
+
+/// Pending forecasts of one `(cell, target)` emission site.
+#[derive(Debug, Default)]
+struct TargetBatch {
+    target: u32,
+    entries: Vec<Pending>,
+}
+
+#[derive(Debug, Default)]
+struct CalibState {
+    /// Pending forecasts, grouped by the cell the forecast connection
+    /// lives in, then by target (a cell has few neighbors).
+    by_cell: HashMap<u32, Vec<TargetBatch>>,
+    global: CalibBins,
+    per_prev: BTreeMap<i64, CalibBins>,
+    predictions: u64,
+    superseded: u64,
+    hits: u64,
+    miss_wrong_target: u64,
+    miss_expired: u64,
+    miss_ended: u64,
+}
+
+impl CalibState {
+    fn resolve(&mut self, pend: Pending, outcome: Outcome) {
+        let hit = outcome == Outcome::Hit;
+        self.global.score(pend.p, hit);
+        self.per_prev
+            .entry(pend.prev)
+            .or_default()
+            .score(pend.p, hit);
+        match outcome {
+            Outcome::Hit => self.hits += 1,
+            Outcome::WrongTarget => self.miss_wrong_target += 1,
+            Outcome::Expired => self.miss_expired += 1,
+            Outcome::Ended => self.miss_ended += 1,
+        }
+    }
+}
+
+static CALIB: Mutex<Option<CalibState>> = Mutex::new(None);
+
+fn with_state<R>(f: impl FnOnce(&mut CalibState) -> R) -> R {
+    let mut guard = CALIB.lock().unwrap();
+    f(guard.get_or_insert_with(CalibState::default))
+}
+
+/// Publishes every staged forecast into the store. `now` is the current
+/// sim-time, used to decide whether a replaced predecessor expired.
+/// One mutex acquisition regardless of batch size; no-op when nothing is
+/// staged.
+pub fn flush_staged(now: f64) {
+    STAGING.with(|s| {
+        let mut staged = s.borrow_mut();
+        if staged.is_empty() {
+            return;
+        }
+        with_state(|st| {
+            let mut expired: Vec<Pending> = Vec::new();
+            let mut superseded = 0u64;
+            for f in staged.iter() {
+                let newp = Pending {
+                    conn: f.conn,
+                    prev: f.prev,
+                    p: f.p,
+                    deadline: f.deadline,
+                };
+                let batches = st.by_cell.entry(f.cell).or_default();
+                let batch = match batches.iter().position(|b| b.target == f.target) {
+                    Some(i) => &mut batches[i],
+                    None => {
+                        batches.push(TargetBatch {
+                            target: f.target,
+                            entries: Vec::new(),
+                        });
+                        batches.last_mut().unwrap()
+                    }
+                };
+                match batch.entries.iter().position(|e| e.conn == f.conn) {
+                    Some(i) => {
+                        let old = std::mem::replace(&mut batch.entries[i], newp);
+                        if old.deadline < now {
+                            expired.push(old);
+                        } else {
+                            superseded += 1;
+                        }
+                    }
+                    None => batch.entries.push(newp),
+                }
+            }
+            st.predictions += staged.len() as u64;
+            st.superseded += superseded;
+            for old in expired {
+                st.resolve(old, Outcome::Expired);
+            }
+        });
+        staged.clear();
+    });
+}
+
+/// Resolves every pending forecast of `conn` (living in cell `from`)
+/// against a hand-off attempt to `to` at sim-time `t`. Admitted and
+/// dropped attempts both count — the mobile moved either way.
+pub fn observe_attempt(conn: u64, from: u32, to: u32, t: f64) {
+    with_state(|st| {
+        let Some(batches) = st.by_cell.get_mut(&from) else {
+            return;
+        };
+        let mut resolved: Vec<(Pending, Outcome)> = Vec::new();
+        for batch in batches.iter_mut() {
+            if let Some(i) = batch.entries.iter().position(|e| e.conn == conn) {
+                let pend = batch.entries.swap_remove(i);
+                let outcome = if t > pend.deadline {
+                    Outcome::Expired
+                } else if batch.target == to {
+                    Outcome::Hit
+                } else {
+                    Outcome::WrongTarget
+                };
+                resolved.push((pend, outcome));
+            }
+        }
+        for (pend, outcome) in resolved {
+            st.resolve(pend, outcome);
+        }
+    });
+}
+
+/// Resolves every pending forecast of `conn` (living in cell `from`) as a
+/// miss: the connection completed without handing off.
+pub fn observe_end(conn: u64, from: u32, t: f64) {
+    with_state(|st| {
+        let Some(batches) = st.by_cell.get_mut(&from) else {
+            return;
+        };
+        let mut resolved: Vec<(Pending, Outcome)> = Vec::new();
+        for batch in batches.iter_mut() {
+            if let Some(i) = batch.entries.iter().position(|e| e.conn == conn) {
+                let pend = batch.entries.swap_remove(i);
+                let outcome = if t > pend.deadline {
+                    Outcome::Expired
+                } else {
+                    Outcome::Ended
+                };
+                resolved.push((pend, outcome));
+            }
+        }
+        for (pend, outcome) in resolved {
+            st.resolve(pend, outcome);
+        }
+    });
+}
+
+/// Resolves every pending forecast whose deadline is strictly before
+/// `now` as an expired miss. Call at end of run so forecasts for
+/// connections that neither moved nor completed are still scored.
+pub fn sweep_expired(now: f64) {
+    with_state(|st| {
+        let mut resolved: Vec<Pending> = Vec::new();
+        for batches in st.by_cell.values_mut() {
+            for batch in batches.iter_mut() {
+                let mut i = 0;
+                while i < batch.entries.len() {
+                    if batch.entries[i].deadline < now {
+                        resolved.push(batch.entries.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        for pend in resolved {
+            st.resolve(pend, Outcome::Expired);
+        }
+    });
+}
+
+/// Clears all calibration state, including this thread's staging buffer.
+pub fn reset_calib() {
+    STAGING.with(|s| s.borrow_mut().clear());
+    *CALIB.lock().unwrap() = None;
+}
+
+/// Point-in-time summary counts of the calibration store.
+#[derive(Debug, Clone, Default)]
+pub struct CalibSummary {
+    /// Forecasts recorded (staged and flushed).
+    pub predictions: u64,
+    /// Forecasts still awaiting an outcome.
+    pub pending: u64,
+    /// Live forecasts replaced by a fresher emission (not scored).
+    pub superseded: u64,
+    /// Resolved as realized hand-offs into the forecast target in time.
+    pub hits: u64,
+    /// Resolved by a hand-off to a different neighbor.
+    pub miss_wrong_target: u64,
+    /// Resolved by deadline expiry.
+    pub miss_expired: u64,
+    /// Resolved by connection completion.
+    pub miss_ended: u64,
+    /// Mean Brier score over everything resolved.
+    pub brier: Option<f64>,
+}
+
+/// Summary counts for quick assertions and the Prometheus fragment.
+pub fn calib_summary() -> CalibSummary {
+    with_state(|st| CalibSummary {
+        predictions: st.predictions,
+        pending: st
+            .by_cell
+            .values()
+            .flat_map(|b| b.iter())
+            .map(|b| b.entries.len() as u64)
+            .sum(),
+        superseded: st.superseded,
+        hits: st.hits,
+        miss_wrong_target: st.miss_wrong_target,
+        miss_expired: st.miss_expired,
+        miss_ended: st.miss_ended,
+        brier: st.global.brier(),
+    })
+}
+
+/// The calibration snapshot: summary counters, the global reliability
+/// diagram, and one diagram per `prev`-cell (`"none"` for connections
+/// that started in the forecast cell).
+pub fn calib_json() -> Value {
+    with_state(|st| {
+        let pending: u64 = st
+            .by_cell
+            .values()
+            .flat_map(|b| b.iter())
+            .map(|b| b.entries.len() as u64)
+            .sum();
+        let per_prev: Vec<(String, Value)> = st
+            .per_prev
+            .iter()
+            .map(|(&prev, bins)| {
+                let key = if prev < 0 {
+                    "none".to_string()
+                } else {
+                    prev.to_string()
+                };
+                (key, bins.to_json())
+            })
+            .collect();
+        Value::Object(vec![
+            ("predictions".into(), Value::UInt(st.predictions)),
+            ("pending".into(), Value::UInt(pending)),
+            ("superseded".into(), Value::UInt(st.superseded)),
+            ("hits".into(), Value::UInt(st.hits)),
+            (
+                "miss_wrong_target".into(),
+                Value::UInt(st.miss_wrong_target),
+            ),
+            ("miss_expired".into(), Value::UInt(st.miss_expired)),
+            ("miss_ended".into(), Value::UInt(st.miss_ended)),
+            ("global".into(), st.global.to_json()),
+            ("per_prev".into(), Value::Object(per_prev)),
+        ])
+    })
+}
+
+/// Appends the calibration summary families to a Prometheus exposition.
+pub fn prometheus_fragment(out: &mut String) {
+    use std::fmt::Write as _;
+    let s = calib_summary();
+    if s.predictions == 0 {
+        return;
+    }
+    let mut counter = |name: &str, help: &str, v: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    };
+    counter(
+        "qres_calib_predictions_total",
+        "Eq.-4 per-connection forecasts recorded for calibration",
+        s.predictions,
+    );
+    counter(
+        "qres_calib_superseded_total",
+        "Live forecasts replaced by a fresher emission before resolving",
+        s.superseded,
+    );
+    counter(
+        "qres_calib_hits_total",
+        "Forecasts resolved by a hand-off into the forecast target in time",
+        s.hits,
+    );
+    counter(
+        "qres_calib_misses_total",
+        "Forecasts resolved as misses (wrong neighbor, expired, or completed)",
+        s.miss_wrong_target + s.miss_expired + s.miss_ended,
+    );
+    if let Some(b) = s.brier {
+        let _ = writeln!(
+            out,
+            "# HELP qres_calib_brier_score Mean Brier score of resolved Eq.-4 forecasts"
+        );
+        let _ = writeln!(out, "# TYPE qres_calib_brier_score gauge");
+        let _ = writeln!(out, "qres_calib_brier_score {b}");
+    }
+}
+
+/// Renders a calibration snapshot (the document written to
+/// `obs_calib.json`, or the `"calib"` section of `/qos`) as the
+/// human-readable report `qres obscalib` prints.
+pub fn render_calib_report(v: &Value) -> Result<String, String> {
+    use std::fmt::Write as _;
+    // Accept the bare snapshot or a document embedding it.
+    let v = if v.get("global").is_some() {
+        v
+    } else if let Some(inner) = v.get("calib").filter(|c| c.get("global").is_some()) {
+        inner
+    } else if let Some(inner) = v
+        .get("qos")
+        .and_then(|q| q.get("calib"))
+        .filter(|c| c.get("global").is_some())
+    {
+        inner
+    } else {
+        return Err("not a calibration snapshot (no `global` section)".into());
+    };
+
+    let count = |key: &str| -> u64 {
+        match v.get(key) {
+            Some(Value::UInt(n)) => *n,
+            Some(Value::Int(n)) => (*n).max(0) as u64,
+            _ => 0,
+        }
+    };
+    let num = |obj: &Value, key: &str| -> Option<f64> {
+        match obj.get(key) {
+            Some(Value::Float(x)) => Some(*x),
+            Some(Value::Int(n)) => Some(*n as f64),
+            Some(Value::UInt(n)) => Some(*n as f64),
+            _ => None,
+        }
+    };
+
+    let mut out = String::new();
+    let resolved =
+        count("hits") + count("miss_wrong_target") + count("miss_expired") + count("miss_ended");
+    let _ = writeln!(
+        out,
+        "Eq.-4 calibration: {} predictions, {} resolved (hits {}, wrong-neighbor {}, expired {}, ended {}), {} superseded, {} pending",
+        count("predictions"),
+        resolved,
+        count("hits"),
+        count("miss_wrong_target"),
+        count("miss_expired"),
+        count("miss_ended"),
+        count("superseded"),
+        count("pending"),
+    );
+
+    let global = v.get("global").ok_or("missing `global` section")?;
+    if let Some(b) = num(global, "brier") {
+        let _ = writeln!(out, "Brier score: {b:.4}");
+    }
+    out.push('\n');
+
+    let render_bins = |out: &mut String, diagram: &Value| -> Result<(), String> {
+        let Some(Value::Array(bins)) = diagram.get("bins") else {
+            return Err("missing `bins` array".into());
+        };
+        let _ = writeln!(out, "  p_h bin          n     mean_p   hit_rate        gap");
+        for bin in bins {
+            let n = num(bin, "n").unwrap_or(0.0) as u64;
+            let lo = num(bin, "lo").unwrap_or(0.0);
+            let hi = num(bin, "hi").unwrap_or(0.0);
+            match (num(bin, "mean_p"), num(bin, "hit_rate")) {
+                (Some(mp), Some(hr)) => {
+                    let _ = writeln!(
+                        out,
+                        "  [{lo:.1},{hi:.1})  {n:>8}   {mp:>8.4}   {hr:>8.4}   {gap:>+8.4}",
+                        gap = hr - mp
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        out,
+                        "  [{lo:.1},{hi:.1})  {n:>8}          -          -          -"
+                    );
+                }
+            }
+        }
+        Ok(())
+    };
+
+    let _ = writeln!(out, "reliability diagram (global):");
+    render_bins(&mut out, global)?;
+
+    if let Some(Value::Object(per_prev)) = v.get("per_prev") {
+        if !per_prev.is_empty() {
+            out.push('\n');
+            let _ = writeln!(out, "per prev-cell:");
+            let _ = writeln!(out, "  prev           n      brier");
+            for (key, diagram) in per_prev {
+                let n = num(diagram, "n").unwrap_or(0.0) as u64;
+                match num(diagram, "brier") {
+                    Some(b) => {
+                        let _ = writeln!(out, "  {key:<6} {n:>9}   {b:>8.4}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "  {key:<6} {n:>9}          -");
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests touching the process-global store.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn stage_and_flush(cell: u32, target: u32, conn: u64, p: f64, deadline: f64, now: f64) {
+        stage_prediction(cell, target, conn, None, p, deadline);
+        flush_staged(now);
+    }
+
+    #[test]
+    fn handoff_to_target_within_window_is_a_hit() {
+        let _g = LOCK.lock().unwrap();
+        reset_calib();
+        stage_and_flush(1, 2, 100, 0.75, 30.0, 10.0);
+        observe_attempt(100, 1, 2, 20.0);
+        let s = calib_summary();
+        assert_eq!((s.hits, s.pending), (1, 0));
+        // Brier for one hit at p = 0.75: (0.75 - 1)^2.
+        assert!((s.brier.unwrap() - 0.0625).abs() < 1e-12);
+        reset_calib();
+    }
+
+    #[test]
+    fn handoff_to_different_neighbor_is_a_miss() {
+        let _g = LOCK.lock().unwrap();
+        reset_calib();
+        // Forecasts toward both neighbors; the mobile goes to cell 2:
+        // the cell-2 forecast hits, the cell-3 forecast misses.
+        stage_and_flush(1, 2, 100, 0.6, 30.0, 10.0);
+        stage_and_flush(1, 3, 100, 0.4, 30.0, 10.0);
+        observe_attempt(100, 1, 2, 20.0);
+        let s = calib_summary();
+        assert_eq!((s.hits, s.miss_wrong_target, s.pending), (1, 1, 0));
+        reset_calib();
+    }
+
+    #[test]
+    fn prediction_expires_unmatched_at_t_est_boundary() {
+        let _g = LOCK.lock().unwrap();
+        reset_calib();
+        stage_and_flush(1, 2, 100, 0.9, 30.0, 10.0);
+        // At exactly the deadline the forecast is still live (a hand-off
+        // at t == deadline would count), so a sweep at 30.0 scores
+        // nothing...
+        sweep_expired(30.0);
+        assert_eq!(calib_summary().pending, 1);
+        // ...and one instant past it the forecast is an expired miss.
+        sweep_expired(30.0 + 1e-9);
+        let s = calib_summary();
+        assert_eq!((s.miss_expired, s.pending), (1, 0));
+        // Brier for one miss at p = 0.9: 0.81.
+        assert!((s.brier.unwrap() - 0.81).abs() < 1e-12);
+        reset_calib();
+    }
+
+    #[test]
+    fn late_handoff_past_deadline_is_an_expired_miss() {
+        let _g = LOCK.lock().unwrap();
+        reset_calib();
+        stage_and_flush(1, 2, 100, 0.5, 30.0, 10.0);
+        observe_attempt(100, 1, 2, 31.0);
+        let s = calib_summary();
+        assert_eq!((s.hits, s.miss_expired), (0, 1));
+        reset_calib();
+    }
+
+    #[test]
+    fn completion_resolves_as_miss() {
+        let _g = LOCK.lock().unwrap();
+        reset_calib();
+        stage_and_flush(1, 2, 100, 0.3, 30.0, 10.0);
+        observe_end(100, 1, 15.0);
+        let s = calib_summary();
+        assert_eq!((s.miss_ended, s.pending), (1, 0));
+        reset_calib();
+    }
+
+    #[test]
+    fn fresh_emission_supersedes_live_and_expires_stale() {
+        let _g = LOCK.lock().unwrap();
+        reset_calib();
+        stage_and_flush(1, 2, 100, 0.5, 30.0, 10.0);
+        // Re-emitted while live: superseded, not scored.
+        stage_and_flush(1, 2, 100, 0.6, 40.0, 20.0);
+        let s = calib_summary();
+        assert_eq!((s.superseded, s.pending, s.predictions), (1, 1, 2));
+        // Re-emitted after the 40.0 deadline passed: predecessor is an
+        // expired miss.
+        stage_and_flush(1, 2, 100, 0.7, 80.0, 50.0);
+        let s = calib_summary();
+        assert_eq!((s.superseded, s.miss_expired, s.pending), (1, 1, 1));
+        reset_calib();
+    }
+
+    #[test]
+    fn per_prev_diagrams_split_by_conditioning_cell() {
+        let _g = LOCK.lock().unwrap();
+        reset_calib();
+        stage_prediction(1, 2, 100, Some(5), 0.8, 30.0);
+        stage_prediction(1, 2, 101, None, 0.2, 30.0);
+        flush_staged(10.0);
+        observe_attempt(100, 1, 2, 20.0);
+        observe_end(101, 1, 25.0);
+        let json = calib_json();
+        let per_prev = json.get("per_prev").unwrap();
+        assert!(per_prev.get("5").is_some());
+        assert!(per_prev.get("none").is_some());
+        let report = render_calib_report(&json).unwrap();
+        assert!(report.contains("2 predictions"));
+        assert!(report.contains("reliability diagram"));
+        assert!(report.contains("per prev-cell:"));
+        reset_calib();
+    }
+
+    #[test]
+    fn report_rejects_non_calibration_documents() {
+        let doc = Value::Object(vec![("x".into(), Value::Null)]);
+        assert!(render_calib_report(&doc).is_err());
+    }
+}

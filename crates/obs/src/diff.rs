@@ -1,0 +1,192 @@
+//! Cross-run metrics diffing: compares two `/metrics.json` snapshots
+//! (same scenario, two schemes — or the same scheme before/after an
+//! optimization) metric by metric, for the `qres obsdiff` subcommand.
+//!
+//! Accepts either a bare snapshot document (`{"counters":...}`) or a run
+//! report embedding one under an `"obs"` key (`qres run --json --obs`),
+//! so both scrape artifacts and report files diff directly.
+
+use qres_json::Value;
+
+/// Locates the metrics snapshot inside `doc`: the document itself, or its
+/// `"obs"` sub-object (run reports embed the snapshot there).
+fn snapshot_of(doc: &Value) -> Result<&Value, String> {
+    if doc.get("counters").is_some() {
+        return Ok(doc);
+    }
+    if let Some(obs) = doc.get("obs") {
+        if obs.get("counters").is_some() {
+            return Ok(obs);
+        }
+    }
+    Err("not a metrics snapshot (no `counters` section, bare or under `obs`)".into())
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(n) => Some(*n as f64),
+        Value::UInt(n) => Some(*n as f64),
+        Value::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Union of keys of two JSON objects, in first-then-second order.
+fn union_keys<'a>(a: &'a Value, b: &'a Value) -> Vec<&'a str> {
+    let mut keys: Vec<&str> = Vec::new();
+    for v in [a, b] {
+        if let Value::Object(fields) = v {
+            for (k, _) in fields {
+                if !keys.contains(&k.as_str()) {
+                    keys.push(k);
+                }
+            }
+        }
+    }
+    keys
+}
+
+fn fmt_delta(a: f64, b: f64) -> String {
+    let delta = b - a;
+    if a != 0.0 {
+        format!("{delta:+} ({:+.1}%)", delta / a * 100.0)
+    } else {
+        format!("{delta:+}")
+    }
+}
+
+/// Renders a per-metric diff of two snapshots: counter and gauge deltas,
+/// and per-histogram count/p99 movement (including the per-cell `p99` of
+/// sharded families). Metrics present in only one snapshot are marked.
+/// `label_a` / `label_b` name the columns (usually the file names).
+pub fn diff_snapshots(
+    a_doc: &Value,
+    b_doc: &Value,
+    label_a: &str,
+    label_b: &str,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let a = snapshot_of(a_doc)?;
+    let b = snapshot_of(b_doc)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "A = {label_a}");
+    let _ = writeln!(out, "B = {label_b}");
+
+    for section in ["counters", "gauges"] {
+        let (sa, sb) = (a.get(section), b.get(section));
+        let (Some(sa), Some(sb)) = (sa, sb) else {
+            continue;
+        };
+        let _ = writeln!(out, "\n{section}:");
+        let mut unchanged = 0u32;
+        for key in union_keys(sa, sb) {
+            match (sa.get(key).and_then(as_f64), sb.get(key).and_then(as_f64)) {
+                (Some(va), Some(vb)) if va == vb => unchanged += 1,
+                (Some(va), Some(vb)) => {
+                    let _ = writeln!(
+                        out,
+                        "  {key:<44} {va:>14} -> {vb:<14} {}",
+                        fmt_delta(va, vb)
+                    );
+                }
+                (Some(va), None) => {
+                    let _ = writeln!(out, "  {key:<44} {va:>14} -> (absent)");
+                }
+                (None, Some(vb)) => {
+                    let _ = writeln!(out, "  {key:<44}       (absent) -> {vb}");
+                }
+                (None, None) => {}
+            }
+        }
+        if unchanged > 0 {
+            let _ = writeln!(out, "  ({unchanged} unchanged)");
+        }
+    }
+
+    if let (Some(ha), Some(hb)) = (a.get("histograms"), b.get("histograms")) {
+        let _ = writeln!(out, "\nhistograms (count, p99 ns):");
+        for key in union_keys(ha, hb) {
+            let (ma, mb) = (ha.get(key), hb.get(key));
+            let stat = |m: Option<&Value>, field: &str| -> Option<f64> {
+                m.and_then(|m| m.get(field)).and_then(as_f64)
+            };
+            let (ca, cb) = (stat(ma, "count"), stat(mb, "count"));
+            let (pa, pb) = (stat(ma, "p99"), stat(mb, "p99"));
+            let fmt_pair = |x: Option<f64>, y: Option<f64>| match (x, y) {
+                (Some(x), Some(y)) => format!("{x} -> {y} [{}]", fmt_delta(x, y)),
+                (Some(x), None) => format!("{x} -> (absent)"),
+                (None, Some(y)) => format!("(absent) -> {y}"),
+                (None, None) => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {key:<34} count {}  p99 {}",
+                fmt_pair(ca, cb),
+                fmt_pair(pa, pb)
+            );
+            // Sharded families: per-cell p99 movement.
+            let (cells_a, cells_b) = (
+                ma.and_then(|m| m.get("cells")),
+                mb.and_then(|m| m.get("cells")),
+            );
+            if let (Some(cells_a), Some(cells_b)) = (cells_a, cells_b) {
+                for cell in union_keys(cells_a, cells_b) {
+                    let qa = cells_a
+                        .get(cell)
+                        .and_then(|c| c.get("p99"))
+                        .and_then(as_f64);
+                    let qb = cells_b
+                        .get(cell)
+                        .and_then(|c| c.get("p99"))
+                        .and_then(as_f64);
+                    if qa != qb {
+                        let _ = writeln!(out, "    cell {cell:<28} p99 {}", fmt_pair(qa, qb));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(counter: u64, p99: u64) -> Value {
+        Value::parse(&format!(
+            r#"{{"counters":{{"qres_x_total":{counter},"qres_only_a_total":1}},
+                "gauges":{{"qres_g":4}},
+                "histograms":{{"qres_h_ns":{{"count":10,"p99":{p99},
+                  "cells":{{"0":{{"count":5,"sum":10,"p99":{p99}}}}}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn diffs_counters_and_p99() {
+        let a = snap(100, 1000);
+        let b = Value::parse(
+            r#"{"obs":{"counters":{"qres_x_total":150},
+                "gauges":{"qres_g":4},
+                "histograms":{"qres_h_ns":{"count":20,"p99":1200,
+                  "cells":{"0":{"count":9,"sum":20,"p99":1200}}}}}}"#,
+        )
+        .unwrap();
+        let report = diff_snapshots(&a, &b, "a.json", "b.json").unwrap();
+        assert!(report.contains("qres_x_total"));
+        assert!(report.contains("+50"));
+        assert!(report.contains("+50.0%"));
+        assert!(report.contains("(absent)"), "{report}");
+        assert!(report.contains("p99 1000 -> 1200"));
+        assert!(report.contains("cell 0"));
+        assert!(report.contains("(1 unchanged)"), "{report}");
+    }
+
+    #[test]
+    fn rejects_non_snapshots() {
+        let junk = Value::parse(r#"{"hello":1}"#).unwrap();
+        assert!(diff_snapshots(&junk, &junk, "a", "b").is_err());
+    }
+}

@@ -99,6 +99,10 @@ pub fn prometheus_text() -> String {
             histogram_series(&mut out, &h.shard_snapshot(shard), &label);
         }
     }
+    // Model-quality families: live QoS estimators / efficiency integrals
+    // (per-cell labelled series) and the Eq.-4 calibration summary.
+    crate::qos::prometheus_fragment(&mut out);
+    crate::calib::prometheus_fragment(&mut out);
     out
 }
 
@@ -157,6 +161,10 @@ pub fn snapshot_json() -> Value {
         ("counters".to_string(), Value::Object(counter_fields)),
         ("gauges".to_string(), Value::Object(gauge_fields)),
         ("histograms".to_string(), Value::Object(histo_fields)),
+        // QoS-conformance view (windowed P_HD/P_CB estimators, violation
+        // clocks, efficiency integrals, Eq.-4 calibration) — same document
+        // the `/qos` route serves.
+        ("qos".to_string(), crate::qos::qos_json()),
     ])
 }
 
@@ -538,7 +546,7 @@ h_count{cell=\"3\"} 1
             panic!("snapshot must be an object")
         };
         let keys: Vec<_> = fields.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(keys, ["counters", "gauges", "histograms"]);
+        assert_eq!(keys, ["counters", "gauges", "histograms", "qos"]);
         // Sharded histograms carry a per-cell sub-object.
         let Some((_, Value::Object(histos))) = fields.iter().find(|(k, _)| k == "histograms")
         else {

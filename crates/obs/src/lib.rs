@@ -21,6 +21,17 @@
 //! * [`fold`] / [`trace`] — offline renderers over the spilled event
 //!   stream: folded stacks for `flamegraph.pl`/inferno (`qres obsfold`)
 //!   and Perfetto-importable trace-event JSON (`qres obstrace`).
+//! * [`qos`] — live QoS-conformance tracking: per-cell sliding-window
+//!   `P_HD`/`P_CB` estimators with Wilson intervals, violation-seconds
+//!   clocks against the paper's target, and reservation-efficiency
+//!   integrals (`B_r` reserved vs. hand-off bandwidth consumed).
+//! * [`calib`] — Eq.-4 prediction calibration: per-connection `p_h`
+//!   forecasts matched against realized hand-offs, aggregated into
+//!   reliability-diagram bins and a Brier score (`qres obscalib`).
+//! * [`push`] — periodic Prometheus-text/JSON push to a TCP sink or file,
+//!   for batch runs nothing scrapes.
+//! * [`diff`] — cross-run diff of two `/metrics.json` snapshots
+//!   (`qres obsdiff`).
 //! * [`loglin`] — the shared log-linear bucket layout (16 sub-buckets per
 //!   octave, ≤ 6.25% relative error), also reused by
 //!   `qres_stats::LogLinearHistogram`.
@@ -43,21 +54,35 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod calib;
+pub mod diff;
 pub mod event;
 pub mod export;
 pub mod fold;
 pub mod loglin;
 pub mod metrics;
+pub mod push;
+pub mod qos;
 pub mod recorder;
 pub mod serve;
 pub mod trace;
 
+pub use calib::{
+    calib_json, calib_summary, flush_staged, observe_attempt, observe_end, render_calib_report,
+    reset_calib, stage_prediction, sweep_expired,
+};
+pub use diff::diff_snapshots;
 pub use event::{events_to_jsonl, ObsEvent};
 pub use export::{escape_label_value, prometheus_text, snapshot_json, validate_prometheus_text};
 pub use fold::folded_stacks;
 pub use metrics::{
     reset_metrics, AtomicHistogram, Counter, HistogramSnapshot, MaxGauge, ShardedHistogram,
     CELL_SHARDS,
+};
+pub use push::{PushExporter, PushFormat};
+pub use qos::{
+    qos_json, qos_snapshot, reset_qos, set_qos_target_p_hd, set_qos_window_secs, wilson_interval,
+    CellQosSnapshot,
 };
 pub use recorder::{
     clear_spill, drain_events, enabled, enabled_at, flush_spill, level, record, reset,

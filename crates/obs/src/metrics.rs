@@ -307,10 +307,17 @@ impl ShardedHistogram {
         }
     }
 
-    /// Records one sample attributed to `cell`.
+    /// Records one sample attributed to `cell`. Ids that fold into the
+    /// overflow shard bump [`SHARD_OVERFLOW_TOTAL`], making a topology
+    /// that outgrew `CELL_SHARDS` visible in the scrape instead of
+    /// silently blurring per-cell attribution.
     #[inline]
     pub fn record_cell(&self, cell: u32, v: u64) {
-        self.shards[Self::shard_of(cell)].record(v);
+        let shard = Self::shard_of(cell);
+        if shard == CELL_SHARDS {
+            SHARD_OVERFLOW_TOTAL.add(1);
+        }
+        self.shards[shard].record(v);
     }
 
     /// Records a wall-clock duration (nanoseconds) attributed to `cell`.
@@ -507,6 +514,26 @@ pub static EVENTS_SAMPLED_OUT_TOTAL: Counter = Counter::new(
     "High-frequency events skipped by 1-in-N debug-tier sampling",
 );
 
+/// Samples recorded against the overflow shard of any [`ShardedHistogram`]
+/// (cell id `>= CELL_SHARDS`); non-zero means per-cell attribution is
+/// lossy and `CELL_SHARDS` needs raising for this topology.
+pub static SHARD_OVERFLOW_TOTAL: Counter = Counter::new(
+    "qres_obs_shard_overflow_total",
+    "Sharded-histogram samples folded into the 'other' shard (cell id >= CELL_SHARDS)",
+);
+
+/// Snapshots pushed by the push exporter (`qres_obs::push`).
+pub static PUSHES_TOTAL: Counter = Counter::new(
+    "qres_obs_pushes_total",
+    "Metric snapshots delivered by the push exporter",
+);
+
+/// Push-exporter delivery failures (connect/write errors; non-fatal).
+pub static PUSH_ERRORS_TOTAL: Counter = Counter::new(
+    "qres_obs_push_errors_total",
+    "Metric snapshot pushes that failed to deliver",
+);
+
 /// Offered-load sweep points planned (enqueued by `sweep_offered_load`).
 pub static SWEEP_POINTS_PLANNED_TOTAL: Counter = Counter::new(
     "qres_sweep_points_planned_total",
@@ -537,7 +564,7 @@ pub fn sharded_histograms() -> [&'static ShardedHistogram; 2] {
 }
 
 /// Every registered counter, in export order.
-pub fn counters() -> [&'static Counter; 14] {
+pub fn counters() -> [&'static Counter; 17] {
     [
         &BACKBONE_MSGS_TOTAL,
         &BACKBONE_BYTES_TOTAL,
@@ -551,6 +578,9 @@ pub fn counters() -> [&'static Counter; 14] {
         &EVENTS_RECORDED_TOTAL,
         &EVENTS_DROPPED_TOTAL,
         &EVENTS_SAMPLED_OUT_TOTAL,
+        &SHARD_OVERFLOW_TOTAL,
+        &PUSHES_TOTAL,
+        &PUSH_ERRORS_TOTAL,
         &SWEEP_POINTS_PLANNED_TOTAL,
         &SWEEP_POINTS_DONE_TOTAL,
     ]
@@ -623,8 +653,13 @@ mod tests {
         assert_eq!(s.mean(), Some(1_000_104.0 / 5.0));
     }
 
+    /// Serializes tests that record into overflow shards, so delta
+    /// assertions on the process-global `SHARD_OVERFLOW_TOTAL` hold.
+    static OVERFLOW_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn sharded_histogram_attributes_and_merges() {
+        let _guard = OVERFLOW_LOCK.lock().unwrap();
         static S: ShardedHistogram = ShardedHistogram::new("t_sharded_ns", "test");
         S.record_cell(2, 10);
         S.record_cell(2, 20);
@@ -656,10 +691,22 @@ mod tests {
     }
 
     #[test]
+    fn overflow_fold_bumps_shard_overflow_counter() {
+        let _guard = OVERFLOW_LOCK.lock().unwrap();
+        static S: ShardedHistogram = ShardedHistogram::new("t_overflow_ns", "test");
+        let before = SHARD_OVERFLOW_TOTAL.get();
+        S.record_cell(CELL_SHARDS as u32 - 1, 1); // exact shard: no overflow
+        assert_eq!(SHARD_OVERFLOW_TOTAL.get(), before);
+        S.record_cell(CELL_SHARDS as u32, 1);
+        S.record_cell(u32::MAX, 1);
+        assert_eq!(SHARD_OVERFLOW_TOTAL.get(), before + 2);
+    }
+
+    #[test]
     fn registry_shapes() {
         assert_eq!(histograms().len(), 5);
         assert_eq!(sharded_histograms().len(), 2);
-        assert_eq!(counters().len(), 14);
+        assert_eq!(counters().len(), 17);
         assert_eq!(gauges().len(), 2);
         let names: Vec<_> = histograms().iter().map(|h| h.name()).collect();
         assert!(names.contains(&"qres_event_dispatch_ns"));

@@ -1,0 +1,237 @@
+//! Push exporter: periodically delivers metric snapshots to a TCP sink or
+//! a file, for batch runs where nothing scrapes the [`crate::serve`]
+//! endpoint (CI jobs, headless sweeps, machines behind NAT).
+//!
+//! A background thread wakes every `interval`, renders the selected format
+//! (Prometheus text exposition or the JSON snapshot) and delivers it:
+//!
+//! * **TCP** (`host:port`) — one connection per push, payload written
+//!   whole, then closed. A plain `nc -l`/socket listener on the other end
+//!   receives exactly one exposition per accept.
+//! * **File** (`file:PATH`) — the file is rewritten in place each push
+//!   (write-to-temp + rename, so readers never see a torn snapshot).
+//!
+//! Delivery failures are non-fatal: they bump
+//! [`crate::metrics::PUSH_ERRORS_TOTAL`] and the exporter keeps trying;
+//! successes bump [`crate::metrics::PUSHES_TOTAL`]. Dropping the
+//! [`PushExporter`] handle performs one final push — a run shorter than
+//! the interval still delivers its end-state snapshot.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::export::{prometheus_text, snapshot_json};
+use crate::metrics::{PUSHES_TOTAL, PUSH_ERRORS_TOTAL};
+
+/// Payload format the exporter delivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushFormat {
+    /// Prometheus text exposition 0.0.4 (the `/metrics` body).
+    PrometheusText,
+    /// Compact JSON snapshot (the `/metrics.json` body).
+    Json,
+}
+
+#[derive(Debug, Clone)]
+enum PushTarget {
+    Tcp(String),
+    File(PathBuf),
+}
+
+impl PushTarget {
+    fn parse(target: &str) -> Result<PushTarget, String> {
+        if let Some(path) = target.strip_prefix("file:") {
+            if path.is_empty() {
+                return Err("empty file push target".into());
+            }
+            return Ok(PushTarget::File(PathBuf::from(path)));
+        }
+        let addr = target.strip_prefix("tcp://").unwrap_or(target);
+        // Require host:port so a bare word fails fast at startup instead
+        // of erroring on every push.
+        match addr.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                Ok(PushTarget::Tcp(addr.to_string()))
+            }
+            _ => Err(format!(
+                "push target `{target}` is neither host:port nor file:PATH"
+            )),
+        }
+    }
+
+    fn deliver(&self, payload: &[u8]) -> std::io::Result<()> {
+        match self {
+            PushTarget::Tcp(addr) => {
+                let mut stream = TcpStream::connect(addr)?;
+                stream.write_all(payload)?;
+                stream.flush()
+            }
+            PushTarget::File(path) => {
+                let tmp = path.with_extension("tmp");
+                std::fs::write(&tmp, payload)?;
+                std::fs::rename(&tmp, path)
+            }
+        }
+    }
+}
+
+/// Handle to a running push exporter; dropping it stops the thread after
+/// one final push.
+pub struct PushExporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn render(format: PushFormat) -> Vec<u8> {
+    match format {
+        PushFormat::PrometheusText => prometheus_text().into_bytes(),
+        PushFormat::Json => {
+            let mut s = snapshot_json().to_compact_string();
+            s.push('\n');
+            s.into_bytes()
+        }
+    }
+}
+
+impl PushExporter {
+    /// Starts the exporter toward `target` (`host:port`, `tcp://host:port`
+    /// or `file:PATH`), pushing every `interval`. Fails fast on a target
+    /// that can never deliver (unparseable); a currently-unreachable TCP
+    /// sink is fine — pushes retry every interval.
+    pub fn start(
+        target: &str,
+        interval: Duration,
+        format: PushFormat,
+    ) -> Result<PushExporter, String> {
+        let parsed = PushTarget::parse(target)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("qres-obs-push".into())
+            .spawn(move || {
+                let push = |target: &PushTarget| match target.deliver(&render(format)) {
+                    Ok(()) => PUSHES_TOTAL.add(1),
+                    Err(_) => PUSH_ERRORS_TOTAL.add(1),
+                };
+                // Sleep in short slices so a drop is honored promptly.
+                const SLICE: Duration = Duration::from_millis(25);
+                loop {
+                    let mut waited = Duration::ZERO;
+                    while waited < interval {
+                        if stop_flag.load(Ordering::Acquire) {
+                            // Final push: deliver the end-state snapshot
+                            // even when the run was shorter than one
+                            // interval.
+                            push(&parsed);
+                            return;
+                        }
+                        let slice = SLICE.min(interval - waited);
+                        std::thread::sleep(slice);
+                        waited += slice;
+                    }
+                    push(&parsed);
+                }
+            })
+            .map_err(|e| format!("failed to spawn push thread: {e}"))?;
+        Ok(PushExporter {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stops the exporter after one final push (also what `Drop` does).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PushExporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+    use std::net::TcpListener;
+
+    #[test]
+    fn rejects_malformed_targets() {
+        for bad in [
+            "",
+            "just-a-host",
+            "host:",
+            ":1234",
+            "host:notaport",
+            "file:",
+        ] {
+            assert!(PushTarget::parse(bad).is_err(), "accepted `{bad}`");
+        }
+        assert!(matches!(
+            PushTarget::parse("127.0.0.1:9090"),
+            Ok(PushTarget::Tcp(_))
+        ));
+        assert!(matches!(
+            PushTarget::parse("tcp://[::1]:9090"),
+            Ok(PushTarget::Tcp(_))
+        ));
+        assert!(matches!(
+            PushTarget::parse("file:/tmp/x.prom"),
+            Ok(PushTarget::File(_))
+        ));
+    }
+
+    #[test]
+    fn tcp_round_trip_delivers_lintable_exposition() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let reader = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut body = String::new();
+            conn.read_to_string(&mut body).unwrap();
+            body
+        });
+        let before = PUSHES_TOTAL.get();
+        let exporter =
+            PushExporter::start(&addr, Duration::from_millis(10), PushFormat::PrometheusText)
+                .unwrap();
+        let body = reader.join().unwrap();
+        drop(exporter);
+        assert!(PUSHES_TOTAL.get() > before);
+        assert!(body.contains("qres_obs_pushes_total"));
+        crate::export::validate_prometheus_text(&body).unwrap();
+    }
+
+    #[test]
+    fn final_push_writes_file_on_drop() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("qres_push_test_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let exporter = PushExporter::start(
+            &format!("file:{}", path.display()),
+            Duration::from_secs(3600),
+            PushFormat::Json,
+        )
+        .unwrap();
+        // Interval far in the future: only the final push on drop fires.
+        drop(exporter);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc = qres_json::Value::parse(body.trim()).unwrap();
+        assert!(doc.get("counters").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+}

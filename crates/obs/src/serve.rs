@@ -4,12 +4,15 @@
 //! end-of-run `obs_snapshot.prom`.
 //!
 //! Same zero-dependency discipline as the rest of the crate: blocking
-//! `std::net` on one background thread, minimal HTTP/1.1, three routes:
+//! `std::net` on one background thread, minimal HTTP/1.1, four routes:
 //!
 //! * `GET /metrics` — Prometheus text exposition 0.0.4
 //!   ([`crate::export::prometheus_text`], lint-clean by construction);
 //! * `GET /metrics.json` — the JSON snapshot
 //!   ([`crate::export::snapshot_json`]);
+//! * `GET /qos` — the QoS-conformance view ([`crate::qos::qos_json`]):
+//!   windowed `P_HD`/`P_CB` estimators, violation clocks, efficiency
+//!   integrals, Eq.-4 calibration;
 //! * `GET /healthz` — liveness probe (`ok`).
 //!
 //! The server is strictly read-only over relaxed atomics — attaching it
@@ -125,11 +128,16 @@ fn route(path: &str) -> (&'static str, &'static str, String) {
             "application/json",
             snapshot_json().to_compact_string(),
         ),
+        "/qos" => (
+            "200 OK",
+            "application/json",
+            crate::qos::qos_json().to_compact_string(),
+        ),
         "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found (routes: /metrics, /metrics.json, /healthz)\n".to_string(),
+            "not found (routes: /metrics, /metrics.json, /qos, /healthz)\n".to_string(),
         ),
     }
 }
@@ -211,6 +219,13 @@ mod tests {
         let (head, body) = http_get(server.addr(), "/metrics.json");
         assert!(head.starts_with("HTTP/1.1 200"));
         assert!(body.starts_with('{'), "json body: {body}");
+
+        let (head, body) = http_get(server.addr(), "/qos");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let qos = qres_json::Value::parse(&body).expect("/qos must serve valid JSON");
+        assert!(qos.get("window_secs").is_some());
+        assert!(qos.get("cells").is_some());
+        assert!(qos.get("calib").is_some());
 
         // Query strings are tolerated; unknown routes 404.
         let (head, _) = http_get(server.addr(), "/metrics?format=prometheus");

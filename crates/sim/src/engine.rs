@@ -311,6 +311,9 @@ impl Engine {
             .is_none_or(|w| w.can_allocate(cell, bandwidth));
         if !wired_ok {
             self.metrics.record_request(now, cell, true);
+            if qres_obs::enabled() {
+                qres_obs::qos::record_admission_outcome(now.as_secs(), cell.0, true);
+            }
             self.maybe_schedule_retry(now, cell, attrs, attempts, queue);
             return;
         }
@@ -325,6 +328,9 @@ impl Engine {
         );
         let blocked = decision.is_blocked();
         self.metrics.record_request(now, cell, blocked);
+        if qres_obs::enabled() {
+            qres_obs::qos::record_admission_outcome(now.as_secs(), cell.0, blocked);
+        }
         self.after_admission_test(now, cell);
         if blocked {
             self.maybe_schedule_retry(now, cell, attrs, attempts, queue);
@@ -436,6 +442,9 @@ impl Engine {
                     .attempt_handoff_constrained(now, id, from, to, known_next, wired_veto);
                 let dropped = outcome.is_dropped();
                 self.metrics.record_handoff(now, to, dropped);
+                if qres_obs::enabled() {
+                    qres_obs::qos::record_handoff_outcome(now.as_secs(), to.0, dropped);
+                }
                 self.metrics
                     .trace_t_est(now, to, self.system.t_est(to).as_secs() as u64);
                 self.metrics

@@ -33,7 +33,7 @@ pub mod welford;
 pub use buckets::HourlyBuckets;
 pub use histogram::Histogram;
 pub use loglinear::LogLinearHistogram;
-pub use ratio::RatioCounter;
+pub use ratio::{wilson_interval, RatioCounter};
 pub use series::TimeSeries;
 pub use timeweighted::TimeWeighted;
 pub use welford::Welford;

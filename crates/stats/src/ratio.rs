@@ -1,5 +1,13 @@
 //! Event-ratio counters for `P_CB` and `P_HD`.
 
+/// Wilson-score confidence interval for a binomial proportion:
+/// `(low, high)` bounds for the true success probability given `hits`
+/// successes out of `trials` at normal quantile `z` (1.96 for 95%).
+/// Implemented in `qres-obs` (which this crate depends on, like the
+/// shared `loglin` bucket layout) and re-exported here next to
+/// [`RatioCounter`], its natural companion.
+pub use qres_obs::qos::wilson_interval;
+
 /// Counts trials and "hits" and reports their ratio.
 ///
 /// The paper's headline metrics are both of this shape:
@@ -68,6 +76,12 @@ impl RatioCounter {
     pub fn std_error(&self) -> Option<f64> {
         let p = self.ratio()?;
         Some((p * (1.0 - p) / self.trials as f64).sqrt())
+    }
+
+    /// Wilson-score confidence interval for the hit ratio at normal
+    /// quantile `z` (see [`wilson_interval`]).
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        wilson_interval(self.hits, self.trials, z)
     }
 
     /// Merges another counter into this one (for aggregating per-cell
@@ -141,6 +155,43 @@ mod tests {
             large.record(i % 2 == 0);
         }
         assert!(large.std_error().unwrap() < small.std_error().unwrap());
+    }
+
+    #[test]
+    fn wilson_no_trials_is_vacuous() {
+        // n = 0: no information, the interval is the whole unit interval.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_single_trial_stays_in_unit_interval() {
+        // n = 1 must not collapse to a point nor escape [0, 1].
+        let (lo_hit, hi_hit) = wilson_interval(1, 1, 1.96);
+        assert!(lo_hit > 0.0 && lo_hit < 0.5, "low bound {lo_hit}");
+        assert!((hi_hit - 1.0).abs() < 1e-12, "high bound {hi_hit}");
+        let (lo_miss, hi_miss) = wilson_interval(0, 1, 1.96);
+        assert!((lo_miss - 0.0).abs() < 1e-12, "low bound {lo_miss}");
+        assert!(hi_miss > 0.5 && hi_miss < 1.0, "high bound {hi_miss}");
+        // Symmetry: one hit and one miss mirror each other around 1/2.
+        assert!((lo_hit - (1.0 - hi_miss)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate_and_narrows_with_n() {
+        let (lo_s, hi_s) = wilson_interval(25, 100, 1.96);
+        assert!(lo_s < 0.25 && 0.25 < hi_s);
+        let (lo_l, hi_l) = wilson_interval(2500, 10000, 1.96);
+        assert!(hi_l - lo_l < hi_s - lo_s);
+        assert!(lo_l < 0.25 && 0.25 < hi_l);
+    }
+
+    #[test]
+    fn wilson_on_counter_matches_free_function() {
+        let mut c = RatioCounter::new();
+        for i in 0..40 {
+            c.record(i % 5 == 0);
+        }
+        assert_eq!(c.wilson_interval(1.96), wilson_interval(8, 40, 1.96));
     }
 
     #[test]

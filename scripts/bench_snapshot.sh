@@ -1,6 +1,6 @@
 #!/bin/bash
 # Runs the perf-tracking micro-benchmarks and writes a JSON snapshot
-# (default BENCH_04.json): the `reservation_b_i0` batched-vs-naive pairs at
+# (default BENCH_05.json): the `reservation_b_i0` batched-vs-naive pairs at
 # populations 10/50/100/200, the end-to-end sweep wall-clock over the
 # paper's 10-point load grid (parallel and sequential runners), the
 # telemetry overhead pair (`obs_overhead/disabled` vs `enabled`), and the
@@ -21,7 +21,7 @@
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_04.json}"
+out="${1:-BENCH_05.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -60,6 +60,31 @@ if disabled and enabled:
         "enabled_ns_per_iter": e,
         "overhead_pct": round((e - d) / d * 100.0, 2),
     }
+
+# --- calibration-path overhead vs the pre-calibration snapshot -----------
+# PR 5 threaded QoS-conformance tracking and Eq.-4 calibration through the
+# obs-enabled path (staged per-connection forecasts, flushed outside the
+# timed windows). Compare the enabled-mode end-to-end cost against
+# BENCH_04 (the last snapshot without calibration) to record what the
+# calibration plumbing costs when telemetry is on. Informational, not
+# gated: the hard constraints are the disabled-path delta (obs off must
+# stay within noise of BENCH_04) and the p99 gate below.
+calib_overhead = {}
+try:
+    prev04 = json.load(open("BENCH_04.json"))
+    prev_by_id = {b["id"]: b for b in prev04.get("benchmarks", [])}
+    for mode in ("disabled", "enabled"):
+        cur = by_id.get(f"obs_overhead/{mode}")
+        ref = prev_by_id.get(f"obs_overhead/{mode}")
+        if cur and ref:
+            delta = (cur["ns_per_iter"] - ref["ns_per_iter"]) / ref["ns_per_iter"] * 100.0
+            calib_overhead[mode] = {
+                "ns_per_iter": cur["ns_per_iter"],
+                "bench_04_ns_per_iter": ref["ns_per_iter"],
+                "delta_pct": round(delta, 2),
+            }
+except (OSError, json.JSONDecodeError):
+    pass
 
 # --- p99 regression gate against the previous snapshot -------------------
 GATED = ("obs_hist_p99/qres_admission_test_ns", "obs_hist_p99/qres_br_compute_ns")
@@ -103,16 +128,19 @@ for gid in GATED:
                         f"{cur['ns_per_iter']:.0f} ns (+{delta:.1f}% > {THRESHOLD_PCT}%)")
 
 doc = {
-    "suite": "qres perf snapshot 04",
+    "suite": "qres perf snapshot 05",
     "benchmarks": entries,
     "b_i0_speedup_batched_over_naive": speedups,
     "obs_overhead": obs,
+    "calibration_overhead_vs_bench_04": calib_overhead,
     "p99_gate": p99_gate,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}: {len(entries)} benchmarks, speedups {speedups}, obs {obs}")
+if calib_overhead:
+    print(f"calibration-path overhead vs BENCH_04: {calib_overhead}")
 print(f"p99 gate vs {p99_gate['previous_snapshot']}: {p99_gate['diffs']}")
 if failures:
     for f in failures:

@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! qres template [stationary|time-varying|wired]   print a scenario template
-//! qres run <scenario.json> [--json] [--obs] [--obs-sample N]
+//! qres run <scenario.json> [--json] [--obs] [--obs-sample N] [--obs-push TARGET]
 //! qres sweep <scenario.json> --loads 60,120,300 [--obs] [--obs-sample N]
+//!            [--obs-push TARGET]
 //! qres serve <scenario.json> [--addr HOST:PORT] [--loads ...]
-//!            [--sequential] [--linger-secs N] [--obs-sample N]
+//!            [--sequential] [--linger-secs N] [--obs-sample N] [--obs-push TARGET]
 //! qres obslint <snapshot.prom>                    lint a Prometheus snapshot
 //! qres obscheck <events.jsonl> [--all-types] [--monotonic]
 //! qres obsfold <events.jsonl>                     folded stacks (flamegraph)
 //! qres obstrace <events.jsonl> [-o trace.json]    Perfetto trace JSON
+//! qres obscalib <obs_calib.json>                  Eq.-4 calibration report
+//! qres obsdiff <a.json> <b.json>                  diff two metrics snapshots
 //! ```
 //!
 //! A scenario file is the JSON form of [`qres::sim::Scenario`]; start from
@@ -36,6 +39,16 @@
 //! `ui.perfetto.dev`; both pair `br_compute` spans with their `admission`
 //! parent via the shared `req` id and assume a single-threaded stream
 //! (`run`, or `serve --sequential`).
+//!
+//! With `--obs` (or under `serve`), the QoS-conformance and Eq.-4
+//! calibration state is additionally written to `obs_calib.json`;
+//! `qres obscalib` renders it as a reliability-diagram report. `--obs-push
+//! TARGET` starts a background push exporter delivering the exposition to
+//! `HOST:PORT` (TCP) or `file:PATH` every `--obs-push-interval` seconds
+//! (default 10; `--obs-push-format prom|json`), with one final push when
+//! the run ends — for batch runs nothing scrapes. `qres obsdiff` compares
+//! two `/metrics.json` snapshots (bare, or embedded under a run report's
+//! `"obs"` key) metric by metric.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -48,6 +61,8 @@ use qres::sim::{run_scenario, Scenario, SchemeKind, TimeVaryingConfig};
 const OBS_PROM_PATH: &str = "obs_snapshot.prom";
 /// JSONL event stream written by `--obs`.
 const OBS_JSONL_PATH: &str = "obs_events.jsonl";
+/// QoS/calibration snapshot written by `--obs` (input to `qres obscalib`).
+const OBS_CALIB_PATH: &str = "obs_calib.json";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,17 +75,25 @@ fn main() -> ExitCode {
         Some("obscheck") => obscheck(&args[1..]),
         Some("obsfold") => obsfold(&args[1..]),
         Some("obstrace") => obstrace(&args[1..]),
+        Some("obscalib") => obscalib(&args[1..]),
+        Some("obsdiff") => obsdiff(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  qres template [stationary|time-varying|wired]\n  \
-                 qres run <scenario.json> [--json] [--obs] [--obs-sample N]\n  \
-                 qres sweep <scenario.json> --loads 60,120,300 [--obs] [--obs-sample N]\n  \
+                 qres run <scenario.json> [--json] [--obs] [--obs-sample N] \
+                 [--obs-push TARGET]\n  \
+                 qres sweep <scenario.json> --loads 60,120,300 [--obs] [--obs-sample N] \
+                 [--obs-push TARGET]\n  \
                  qres serve <scenario.json> [--addr HOST:PORT] [--loads ...] \
-                 [--sequential] [--linger-secs N] [--obs-sample N]\n  \
+                 [--sequential] [--linger-secs N] [--obs-sample N] [--obs-push TARGET]\n  \
                  qres obslint <snapshot.prom>\n  \
                  qres obscheck <events.jsonl> [--all-types] [--monotonic]\n  \
                  qres obsfold <events.jsonl>\n  \
-                 qres obstrace <events.jsonl> [-o trace.json]"
+                 qres obstrace <events.jsonl> [-o trace.json]\n  \
+                 qres obscalib <obs_calib.json>\n  \
+                 qres obsdiff <a.json> <b.json>\n\
+                 push targets: HOST:PORT (TCP) or file:PATH; \
+                 [--obs-push-interval SECS] [--obs-push-format prom|json]"
             );
             ExitCode::from(2)
         }
@@ -144,14 +167,65 @@ fn obs_setup(args: &[String]) -> Result<bool, String> {
     Ok(true)
 }
 
-/// Flushes buffered events to [`OBS_JSONL_PATH`] and writes the Prometheus
-/// exposition to [`OBS_PROM_PATH`].
+/// Handles `--obs-push TARGET` (TCP `HOST:PORT` or `file:PATH`): starts
+/// the background push exporter, honoring `--obs-push-interval SECS`
+/// (default 10) and `--obs-push-format prom|json` (default `prom`). The
+/// returned handle must stay alive for the run's duration — dropping it
+/// stops the thread after one final push.
+fn obs_push_setup(args: &[String]) -> Result<Option<qres::obs::PushExporter>, String> {
+    let Some(target) = flag_value(args, "--obs-push") else {
+        if args.iter().any(|a| a == "--obs-push") {
+            return Err("--obs-push requires a target (HOST:PORT or file:PATH)".into());
+        }
+        return Ok(None);
+    };
+    let interval_secs: f64 = match flag_value(args, "--obs-push-interval") {
+        None => 10.0,
+        Some(raw) => raw
+            .parse()
+            .ok()
+            .filter(|&s| s > 0.0)
+            .ok_or_else(|| format!("--obs-push-interval expects seconds > 0, got `{raw}`"))?,
+    };
+    let format = match flag_value(args, "--obs-push-format") {
+        None | Some("prom") => qres::obs::PushFormat::PrometheusText,
+        Some("json") => qres::obs::PushFormat::Json,
+        Some(other) => {
+            return Err(format!(
+                "--obs-push-format expects prom|json, got `{other}`"
+            ))
+        }
+    };
+    let exporter = qres::obs::PushExporter::start(
+        target,
+        std::time::Duration::from_secs_f64(interval_secs),
+        format,
+    )
+    .map_err(|e| format!("--obs-push {target}: {e}"))?;
+    eprintln!("[obs] pushing to {target} every {interval_secs} s");
+    Ok(Some(exporter))
+}
+
+/// Flushes buffered events to [`OBS_JSONL_PATH`], writes the Prometheus
+/// exposition to [`OBS_PROM_PATH`] and the QoS/calibration snapshot to
+/// [`OBS_CALIB_PATH`]. Forecasts whose deadline passed before the last
+/// recorded sim-time are settled as expired first; later deadlines stay
+/// `pending` (censored by the end of the run, not scored).
 fn obs_finish(quiet: bool) -> Result<(), String> {
     qres::obs::flush_spill();
+    qres::obs::sweep_expired(qres::obs::sim_time());
     std::fs::write(OBS_PROM_PATH, qres::obs::prometheus_text())
         .map_err(|e| format!("cannot write {OBS_PROM_PATH}: {e}"))?;
+    std::fs::write(
+        OBS_CALIB_PATH,
+        qres::obs::qos_json().to_pretty_string() + "\n",
+    )
+    .map_err(|e| format!("cannot write {OBS_CALIB_PATH}: {e}"))?;
     if !quiet {
-        println!("[obs] snapshot -> {OBS_PROM_PATH}, events -> {OBS_JSONL_PATH}");
+        println!(
+            "[obs] snapshot -> {OBS_PROM_PATH}, events -> {OBS_JSONL_PATH}, \
+             qos/calibration -> {OBS_CALIB_PATH}"
+        );
     }
     Ok(())
 }
@@ -164,6 +238,13 @@ fn run(args: &[String]) -> ExitCode {
     let as_json = args.iter().any(|a| a == "--json");
     let obs = match obs_setup(args) {
         Ok(on) => on,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pusher = match obs_push_setup(args) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -199,6 +280,9 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Dropping the exporter delivers one final push with the end-of-run
+    // state — a short run is guaranteed at least one delivery.
+    drop(pusher);
     ExitCode::SUCCESS
 }
 
@@ -232,6 +316,13 @@ fn sweep(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let pusher = match obs_push_setup(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let loads = match parse_loads(args) {
         Ok(v) => v,
         Err(e) => {
@@ -254,6 +345,7 @@ fn sweep(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    drop(pusher);
     ExitCode::SUCCESS
 }
 
@@ -321,6 +413,13 @@ fn serve(args: &[String]) -> ExitCode {
         eprintln!("cannot create {OBS_JSONL_PATH}: {e}");
         return ExitCode::FAILURE;
     }
+    let pusher = match obs_push_setup(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let loads = match parse_loads(args) {
         Ok(v) => v,
         Err(e) => {
@@ -362,6 +461,7 @@ fn serve(args: &[String]) -> ExitCode {
         std::thread::sleep(std::time::Duration::from_secs(linger_secs));
     }
     server.shutdown();
+    drop(pusher);
     ExitCode::SUCCESS
 }
 
@@ -586,6 +686,71 @@ fn obstrace(args: &[String]) -> ExitCode {
         None => {
             println!("{rendered}");
             ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Renders the Eq.-4 prediction-calibration report (reliability diagram,
+/// Brier score, per-`prev`-cell breakdown) from the `obs_calib.json`
+/// written by `--obs` — also accepts a bare calibration snapshot or a
+/// `/qos` scrape body.
+fn obscalib(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("qres obscalib <obs_calib.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match qres_json::Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match qres::obs::render_calib_report(&doc) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Diffs two metrics snapshots (`/metrics.json` bodies, or run reports
+/// embedding one under `"obs"`) metric by metric.
+fn obsdiff(args: &[String]) -> ExitCode {
+    let (Some(path_a), Some(path_b)) = (args.first(), args.get(1)) else {
+        eprintln!("qres obsdiff <a.json> <b.json>");
+        return ExitCode::from(2);
+    };
+    let parse = |path: &str| -> Result<qres_json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        qres_json::Value::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))
+    };
+    let (a, b) = match (parse(path_a), parse(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match qres::obs::diff_snapshots(&a, &b, path_a, path_b) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
         }
     }
 }

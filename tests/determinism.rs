@@ -108,6 +108,10 @@ fn recorder_does_not_perturb_outcomes() {
     let (events, _) = qres::obs::drain_events();
     qres::obs::reset();
     qres::obs::reset_metrics();
+    // The obs-on run also exercised the QoS/calibration trackers (both
+    // strictly obs-side); clear them so this test leaves no global state.
+    qres::obs::reset_qos();
+    qres::obs::reset_calib();
     assert!(!events.is_empty(), "debug level should record events");
     assert_eq!(off.system_cb, on.system_cb);
     assert_eq!(off.system_hd, on.system_hd);

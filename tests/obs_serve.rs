@@ -79,7 +79,7 @@ fn scrape_during_running_sweep() {
         panic!("snapshot is not an object")
     };
     let keys: Vec<&str> = sections.iter().map(|(k, _)| k.as_str()).collect();
-    assert_eq!(keys, ["counters", "gauges", "histograms"]);
+    assert_eq!(keys, ["counters", "gauges", "histograms", "qos"]);
     let rate = snapshot
         .get("gauges")
         .and_then(|g| g.get("qres_obs_sample_rate"));
@@ -111,4 +111,6 @@ fn scrape_during_running_sweep() {
     server.shutdown();
     qres::obs::reset();
     qres::obs::reset_metrics();
+    qres::obs::reset_qos();
+    qres::obs::reset_calib();
 }

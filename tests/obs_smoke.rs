@@ -23,6 +23,8 @@ fn obs_enabled_run_covers_all_event_groups() {
     let snapshot = obs::snapshot_json();
     obs::reset();
     obs::reset_metrics();
+    obs::reset_qos();
+    obs::reset_calib();
 
     assert!(r.events_dispatched > 0);
     assert_eq!(dropped, 0, "capacity must hold the whole stream");
@@ -60,10 +62,14 @@ fn obs_enabled_run_covers_all_event_groups() {
     }
     assert_eq!(lines, events.len());
 
-    // The JSON snapshot has the three exporter sections.
-    let qres_json::Value::Object(sections) = snapshot else {
+    // The JSON snapshot has the four exporter sections, and the QoS view
+    // carries the calibration sub-document.
+    let qres_json::Value::Object(sections) = &snapshot else {
         panic!("snapshot must be an object");
     };
     let keys: Vec<&str> = sections.iter().map(|(k, _)| k.as_str()).collect();
-    assert_eq!(keys, ["counters", "gauges", "histograms"]);
+    assert_eq!(keys, ["counters", "gauges", "histograms", "qos"]);
+    let qos = snapshot.get("qos").unwrap();
+    assert!(qos.get("cells").is_some());
+    assert!(qos.get("calib").is_some());
 }

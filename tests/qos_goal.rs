@@ -33,6 +33,75 @@ fn ac3_meets_drop_target_across_loads() {
     }
 }
 
+/// The live sliding-window `P_HD` estimator (the telemetry plane's `/qos`
+/// view) agrees with the end-of-run report: with the window stretched past
+/// the run horizon, the windowed counts equal the report's counts exactly,
+/// and the report's point estimate sits inside the live Wilson interval.
+#[test]
+fn live_qos_estimator_matches_end_of_run_report() {
+    // 30 cells, and only cells >= 10 are compared: the other tests in
+    // this binary run 10-cell scenarios concurrently against the same
+    // process-global tracker, so cells 0..9 may carry their outcomes.
+    qres::obs::set_qos_window_secs(1e9);
+    let prev_level = qres::obs::level();
+    qres::obs::set_level(qres::obs::Level::Info);
+    let mut s = Scenario::paper_baseline()
+        .scheme(SchemeKind::Ac3)
+        .offered_load(200.0)
+        .high_mobility()
+        .duration_secs(3_000.0)
+        .seed(110);
+    s.num_cells = 30;
+    let r = run_scenario(&s);
+    qres::obs::set_level(prev_level);
+    let live = qres::obs::qos_snapshot();
+    qres::obs::reset_qos();
+    qres::obs::reset_calib();
+
+    let mut checked = 0usize;
+    for cell in r.cells.iter().filter(|c| c.cell.0 >= 10) {
+        let snap = live
+            .iter()
+            .find(|q| q.cell == cell.cell.0)
+            .unwrap_or_else(|| panic!("cell {} missing from live snapshot", cell.cell.0));
+        assert_eq!(
+            snap.hd_trials, cell.handoffs,
+            "cell {}: windowed hand-off count",
+            cell.cell.0
+        );
+        assert_eq!(
+            snap.hd_hits, cell.drops,
+            "cell {}: windowed drop count",
+            cell.cell.0
+        );
+        assert_eq!(
+            snap.cb_trials, cell.requests,
+            "cell {}: windowed request count",
+            cell.cell.0
+        );
+        assert_eq!(
+            snap.cb_hits, cell.blocked,
+            "cell {}: windowed block count",
+            cell.cell.0
+        );
+        if cell.handoffs > 0 {
+            let (lo, hi) = snap.p_hd_wilson;
+            assert!(
+                lo <= cell.p_hd && cell.p_hd <= hi,
+                "cell {}: report P_HD = {} outside live Wilson interval [{lo}, {hi}]",
+                cell.cell.0,
+                cell.p_hd
+            );
+            assert_eq!(snap.p_hd, Some(cell.p_hd));
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 15,
+        "only {checked} cells had hand-offs to compare"
+    );
+}
+
 /// Static reservation tuned for voice (G = 10) fails the target once half
 /// the connections are 4-BU video under load (paper Fig. 7 / §5.2.1).
 #[test]
