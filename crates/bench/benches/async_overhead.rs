@@ -1,0 +1,49 @@
+//! Asynchronous-signaling overhead bound: the same end-to-end scenario on
+//! the synchronous admission path (inline cascade, the pre-backbone
+//! baseline), on the asynchronous two-phase plane over an **ideal**
+//! transport (zero latency/loss — outcomes provably bit-identical to sync,
+//! so this row isolates the pure bookkeeping cost of envelopes, shadow
+//! tickets and the delivery queue), and on a **faulty** transport
+//! (latency + loss + bounded queues — the extra events are retries,
+//! timeouts and commit/abort epilogues).
+//!
+//! `scripts/bench_snapshot.sh` records all three rows into `BENCH_06.json`
+//! so the async-ideal-vs-sync delta is gated between snapshots.
+
+use qres_microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qres_sim::{run_scenario, Scenario, SchemeKind};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::paper_baseline()
+        .scheme(SchemeKind::Ac3)
+        .offered_load(150.0)
+        .duration_secs(100.0)
+        .seed(seed)
+}
+
+fn bench_async_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_overhead");
+    group.sample_size(10);
+    for mode in ["sync", "async_ideal", "async_faulty"] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let s = match mode {
+                    "sync" => scenario(seed),
+                    "async_ideal" => scenario(seed).async_signaling(),
+                    // 50 ms/hop, 2% loss, 64-deep links: enough to
+                    // exercise timeouts and drops without starving the
+                    // run of admissions.
+                    _ => scenario(seed).backbone_faults(0.05, 0.02, 64),
+                };
+                let r = run_scenario(&s);
+                black_box((r.events_dispatched, r.backbone.dropped_loss))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async_overhead);
+criterion_main!(benches);

@@ -42,12 +42,14 @@ fn main() {
         for &load in &opts.load_grid() {
             let mut row = Vec::new();
             for &scheme in &schemes {
-                let mut s = Scenario::paper_baseline()
-                    .scheme(scheme)
-                    .offered_load(load)
-                    .high_mobility()
-                    .duration_secs(duration)
-                    .seed(opts.seed);
+                let mut s = opts.apply_backbone(
+                    Scenario::paper_baseline()
+                        .scheme(scheme)
+                        .offered_load(load)
+                        .high_mobility()
+                        .duration_secs(duration)
+                        .seed(opts.seed),
+                );
                 s.backbone = backbone;
                 let r = run_scenario(&s);
                 row.push(Some(r.signaling.messages as f64 / duration));

@@ -21,7 +21,12 @@
 //! * `--obs-push <target>` — with `--obs`, push the Prometheus exposition
 //!   to a TCP sink (`host:port`) or file (`file:path`) every
 //!   `--obs-push-interval <secs>` (default 10) — for batch regenerations
-//!   nothing scrapes.
+//!   nothing scrapes;
+//! * `--backbone-latency <secs>` / `--backbone-loss <p>` /
+//!   `--backbone-queue <n>` — run on the asynchronous signaling plane
+//!   with the given per-hop latency, message loss probability and
+//!   bounded per-link queue (0 = unbounded); any of the three implies
+//!   async mode. Binaries opt in via [`ExpOptions::apply_backbone`].
 //!
 //! The `benches/` directory holds Criterion micro-benchmarks of the
 //! algorithmic building blocks (HOE cache ops, Eq. 4 queries, `B_r`
@@ -39,7 +44,8 @@ pub const OBS_PROM_PATH: &str = "obs_snapshot.prom";
 pub const OBS_JSONL_PATH: &str = "obs_events.jsonl";
 
 const USAGE: &str = "options: [--quick] [--seed <n>] [--csv] [--obs] [--obs-sample <n>] \
-     [--serve <host:port>] [--obs-push <host:port|file:path>] [--obs-push-interval <secs>]";
+     [--serve <host:port>] [--obs-push <host:port|file:path>] [--obs-push-interval <secs>] \
+     [--backbone-latency <secs>] [--backbone-loss <p>] [--backbone-queue <n>]";
 
 /// Common CLI options of the experiment binaries.
 #[derive(Debug, Clone)]
@@ -60,6 +66,12 @@ pub struct ExpOptions {
     pub obs_push: Option<String>,
     /// Push interval seconds (`--obs-push-interval`), default 10.
     pub obs_push_interval_secs: f64,
+    /// Per-hop backbone latency seconds (`--backbone-latency`), when set.
+    pub backbone_latency_secs: Option<f64>,
+    /// Backbone per-message loss probability (`--backbone-loss`), when set.
+    pub backbone_loss_prob: Option<f64>,
+    /// Bounded per-link backbone queue (`--backbone-queue`), when set.
+    pub backbone_queue_limit: Option<u64>,
 }
 
 impl ExpOptions {
@@ -80,6 +92,9 @@ impl ExpOptions {
             serve: None,
             obs_push: None,
             obs_push_interval_secs: 10.0,
+            backbone_latency_secs: None,
+            backbone_loss_prob: None,
+            backbone_queue_limit: None,
         };
         let mut args = env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -130,6 +145,37 @@ impl ExpOptions {
                         .filter(|&s: &f64| s > 0.0)
                         .unwrap_or_else(|| die("--obs-push-interval must be seconds > 0"));
                 }
+                "--backbone-latency" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| die("--backbone-latency requires seconds"));
+                    let secs: f64 = v
+                        .parse()
+                        .ok()
+                        .filter(|&s: &f64| s >= 0.0 && s.is_finite())
+                        .unwrap_or_else(|| die("--backbone-latency must be seconds >= 0"));
+                    opts.backbone_latency_secs = Some(secs);
+                }
+                "--backbone-loss" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| die("--backbone-loss requires a probability"));
+                    let p: f64 = v
+                        .parse()
+                        .ok()
+                        .filter(|&p: &f64| (0.0..=1.0).contains(&p))
+                        .unwrap_or_else(|| die("--backbone-loss must be in [0, 1]"));
+                    opts.backbone_loss_prob = Some(p);
+                }
+                "--backbone-queue" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| die("--backbone-queue requires a limit"));
+                    let n: u64 = v.parse().unwrap_or_else(|_| {
+                        die("--backbone-queue must be an integer (0 = unbounded)")
+                    });
+                    opts.backbone_queue_limit = Some(n);
+                }
                 "--help" | "-h" => die(USAGE),
                 other => die(&format!("unknown option `{other}`; {USAGE}")),
             }
@@ -177,6 +223,29 @@ impl ExpOptions {
             }
         }
         opts
+    }
+
+    /// Applies the `--backbone-*` flags to a scenario. Any flag present
+    /// switches the run onto the asynchronous two-phase signaling plane
+    /// (same semantics as the `qres` CLI).
+    pub fn apply_backbone(&self, mut scenario: qres_sim::Scenario) -> qres_sim::Scenario {
+        if self.backbone_latency_secs.is_none()
+            && self.backbone_loss_prob.is_none()
+            && self.backbone_queue_limit.is_none()
+        {
+            return scenario;
+        }
+        scenario.async_signaling = true;
+        if let Some(secs) = self.backbone_latency_secs {
+            scenario.backbone_latency_secs = secs;
+        }
+        if let Some(p) = self.backbone_loss_prob {
+            scenario.backbone_loss_prob = p;
+        }
+        if let Some(n) = self.backbone_queue_limit {
+            scenario.backbone_queue_limit = n;
+        }
+        scenario
     }
 
     /// Scales a duration: full length normally, `quick_secs` under

@@ -43,6 +43,9 @@ pub use cell::{Cell, CellError, ConnInfo};
 pub use geometry::{Direction, RoadGeometry};
 pub use hex::{HexDir, HexGrid};
 pub use ids::{CellId, ConnectionId};
-pub use signaling::{BsNetwork, BsNetworkKind, MessageKind, MessageStats};
+pub use signaling::{
+    BackboneConfig, BsNetwork, BsNetworkKind, Envelope, FaultStats, MessageKind, MessageStats,
+    Payload,
+};
 pub use topology::Topology;
 pub use wired::{NodeId, NodeKind, WiredError, WiredNetwork, WiredNetworkBuilder};

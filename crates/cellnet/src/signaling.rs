@@ -16,6 +16,8 @@
 //! and hops so the examples can contrast the two backbone options.
 
 use crate::ids::CellId;
+use qres_des::{Duration, SimTime, StreamRng};
+use std::collections::{BTreeMap, VecDeque};
 
 /// The backbone interconnection among BSs (paper Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +51,12 @@ pub enum MessageKind {
     AdmissionCheckRequest,
     /// The adjacent BS's pass/fail verdict.
     AdmissionCheckReply,
+    /// Two-phase epilogue: the origin confirms the admission, releasing the
+    /// neighbor's shadow reservation into real history.
+    ReservationCommit,
+    /// Two-phase epilogue: the origin cancels, releasing the neighbor's
+    /// shadow reservation without effect.
+    ReservationAbort,
 }
 
 impl MessageKind {
@@ -60,6 +68,20 @@ impl MessageKind {
             MessageKind::ReservationReply => 16,
             MessageKind::AdmissionCheckRequest => 24,
             MessageKind::AdmissionCheckReply => 8,
+            MessageKind::ReservationCommit => 8,
+            MessageKind::ReservationAbort => 8,
+        }
+    }
+
+    /// The dense index used by the per-kind counters.
+    fn slot(self) -> usize {
+        match self {
+            MessageKind::ReservationQuery => 0,
+            MessageKind::ReservationReply => 1,
+            MessageKind::AdmissionCheckRequest => 2,
+            MessageKind::AdmissionCheckReply => 3,
+            MessageKind::ReservationCommit => 4,
+            MessageKind::ReservationAbort => 5,
         }
     }
 
@@ -70,8 +92,170 @@ impl MessageKind {
             MessageKind::ReservationReply => "reservation_reply",
             MessageKind::AdmissionCheckRequest => "admission_check_request",
             MessageKind::AdmissionCheckReply => "admission_check_reply",
+            MessageKind::ReservationCommit => "reservation_commit",
+            MessageKind::ReservationAbort => "reservation_abort",
         }
     }
+}
+
+/// The semantic content of an asynchronous backbone message. Every variant
+/// carries the originating admission's sequence number so replies can be
+/// correlated with the pending decision they answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Payload {
+    /// `T_est,0` announcement: asks the receiver for its `B_i,0` term.
+    BrQuery {
+        /// The admission attempt this probe belongs to.
+        admission: u64,
+        /// The origin's estimated sojourn `T_est,0` at announcement time.
+        t_est_secs: f64,
+        /// Whether the receiver should evaluate its Eq.-4 contribution.
+        /// `false` for Naghshineh–Schwartz polls, which only need the
+        /// receiver's current usage (the origin computes the term itself).
+        eval: bool,
+    },
+    /// The neighbor's `B_i,0` contribution, piggybacking the state the
+    /// origin needs for AC3's suspect test (its load and last `B_r`).
+    BrReply {
+        /// The admission attempt this reply answers.
+        admission: u64,
+        /// The computed contribution `B_i,0`.
+        value: f64,
+        /// The neighbor's occupied bandwidth at reply time.
+        used_bus: u32,
+        /// The neighbor's most recent own `B_r` at reply time.
+        last_br: f64,
+        /// Whether the term came from the memo table (for `N_calc`).
+        memo_hit: bool,
+    },
+    /// Asks the receiver to run its reservation-feasibility test for a
+    /// would-be admission of `bandwidth_bus` at the origin.
+    CheckRequest {
+        /// The admission attempt this check belongs to.
+        admission: u64,
+        /// The candidate connection's bandwidth (BUs).
+        bandwidth_bus: u32,
+    },
+    /// The receiver's feasibility verdict; a pass holds a shadow
+    /// reservation at the sender until commit, abort, or expiry.
+    CheckReply {
+        /// The admission attempt this verdict answers.
+        admission: u64,
+        /// Whether the neighbor's `Σ b ≤ C(i) − B_r,i` test passed.
+        ok: bool,
+    },
+    /// Confirms the admission; the receiver drops its shadow hold.
+    Commit {
+        /// The admission attempt being confirmed.
+        admission: u64,
+    },
+    /// Cancels the admission; the receiver drops its shadow hold.
+    Abort {
+        /// The admission attempt being cancelled.
+        admission: u64,
+    },
+}
+
+impl Payload {
+    /// The wire-accounting kind this payload travels as.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Payload::BrQuery { .. } => MessageKind::ReservationQuery,
+            Payload::BrReply { .. } => MessageKind::ReservationReply,
+            Payload::CheckRequest { .. } => MessageKind::AdmissionCheckRequest,
+            Payload::CheckReply { .. } => MessageKind::AdmissionCheckReply,
+            Payload::Commit { .. } => MessageKind::ReservationCommit,
+            Payload::Abort { .. } => MessageKind::ReservationAbort,
+        }
+    }
+
+    /// The admission sequence number the payload is correlated to.
+    pub fn admission(&self) -> u64 {
+        match *self {
+            Payload::BrQuery { admission, .. }
+            | Payload::BrReply { admission, .. }
+            | Payload::CheckRequest { admission, .. }
+            | Payload::CheckReply { admission, .. }
+            | Payload::Commit { admission }
+            | Payload::Abort { admission } => admission,
+        }
+    }
+}
+
+/// An in-flight backbone message: payload plus routing and arrival time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Simulation time at which the message reaches `to`.
+    pub deliver_at: SimTime,
+    /// Sending BS.
+    pub from: CellId,
+    /// Receiving BS.
+    pub to: CellId,
+    /// Message content.
+    pub payload: Payload,
+}
+
+/// Fault-injection and delay knobs of the asynchronous backbone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackboneConfig {
+    /// Propagation + switching delay per backbone hop (star pays 2×).
+    pub hop_latency: Duration,
+    /// Independent per-message loss probability (0 disables the stream).
+    pub loss_prob: f64,
+    /// Max in-flight messages per directed BS pair; `None` is unbounded.
+    pub queue_limit: Option<usize>,
+    /// Seed of the dedicated loss RNG stream.
+    pub seed: u64,
+}
+
+impl Default for BackboneConfig {
+    /// The ideal backbone: instantaneous, lossless, unbounded. Under this
+    /// config the asynchronous path must match the synchronous one
+    /// bit-for-bit.
+    fn default() -> Self {
+        BackboneConfig {
+            hop_latency: Duration::from_secs(0.0),
+            loss_prob: 0.0,
+            queue_limit: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Deterministic, per-run counters of transport faults. Kept separate from
+/// the process-global telemetry registry so tests running in parallel can
+/// assert on them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped by the loss coin.
+    pub dropped_loss: u64,
+    /// Messages dropped because the directed link's queue was full.
+    pub dropped_overflow: u64,
+    /// High-water mark of simultaneously in-flight messages.
+    pub max_inflight: u64,
+}
+
+impl FaultStats {
+    /// Total messages dropped for any reason.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_loss + self.dropped_overflow
+    }
+}
+
+/// The delivery machinery behind [`BsNetwork::transmit`]. Present only when
+/// the asynchronous path is enabled; the synchronous accounting-only mode
+/// has no transport at all.
+#[derive(Debug, Clone)]
+struct Transport {
+    config: BackboneConfig,
+    loss_rng: StreamRng,
+    /// In-flight messages, kept sorted by `deliver_at` with FIFO ties.
+    /// Simulation time is monotone, and per-hop latency is constant, so
+    /// `push_back` preserves the order without a priority queue.
+    inflight: VecDeque<Envelope>,
+    /// Occupancy per directed `(from, to)` link, for the queue bound.
+    link_load: BTreeMap<(u32, u32), usize>,
+    faults: FaultStats,
 }
 
 /// Aggregate counters of backbone signaling traffic.
@@ -99,7 +283,8 @@ impl MessageStats {
 pub struct BsNetwork {
     kind: BsNetworkKind,
     stats: MessageStats,
-    per_kind: [(u64, u64); 4],
+    per_kind: [(u64, u64); 6],
+    transport: Option<Transport>,
 }
 
 impl BsNetwork {
@@ -108,7 +293,8 @@ impl BsNetwork {
         BsNetwork {
             kind,
             stats: MessageStats::default(),
-            per_kind: [(0, 0); 4],
+            per_kind: [(0, 0); 6],
+            transport: None,
         }
     }
 
@@ -127,14 +313,8 @@ impl BsNetwork {
         self.stats.messages += 1;
         self.stats.hops += hops;
         self.stats.bytes += msg.nominal_bytes();
-        let slot = match msg {
-            MessageKind::ReservationQuery => 0,
-            MessageKind::ReservationReply => 1,
-            MessageKind::AdmissionCheckRequest => 2,
-            MessageKind::AdmissionCheckReply => 3,
-        };
-        self.per_kind[slot].0 += 1;
-        self.per_kind[slot].1 += msg.nominal_bytes();
+        self.per_kind[msg.slot()].0 += 1;
+        self.per_kind[msg.slot()].1 += msg.nominal_bytes();
         if qres_obs::enabled() {
             qres_obs::metrics::BACKBONE_MSGS_TOTAL.add(1);
             qres_obs::metrics::BACKBONE_BYTES_TOTAL.add(msg.nominal_bytes());
@@ -167,19 +347,142 @@ impl BsNetwork {
 
     /// `(messages, bytes)` for one message kind.
     pub fn stats_for(&self, msg: MessageKind) -> (u64, u64) {
-        let slot = match msg {
-            MessageKind::ReservationQuery => 0,
-            MessageKind::ReservationReply => 1,
-            MessageKind::AdmissionCheckRequest => 2,
-            MessageKind::AdmissionCheckReply => 3,
-        };
-        self.per_kind[slot]
+        self.per_kind[msg.slot()]
     }
 
     /// Resets all counters (e.g. after a warm-up period).
     pub fn reset_stats(&mut self) {
         self.stats = MessageStats::default();
-        self.per_kind = [(0, 0); 4];
+        self.per_kind = [(0, 0); 6];
+    }
+
+    // --- asynchronous transport -----------------------------------------
+
+    /// Switches the fabric into asynchronous-delivery mode: subsequent
+    /// [`transmit`](Self::transmit) calls schedule real deliveries instead
+    /// of assuming instantaneous, lossless exchange.
+    pub fn enable_transport(&mut self, config: BackboneConfig) {
+        self.transport = Some(Transport {
+            loss_rng: StreamRng::seed_from_u64(config.seed),
+            config,
+            inflight: VecDeque::new(),
+            link_load: BTreeMap::new(),
+            faults: FaultStats::default(),
+        });
+    }
+
+    /// Whether asynchronous delivery is enabled.
+    pub fn transport_enabled(&self) -> bool {
+        self.transport.is_some()
+    }
+
+    /// Sends `payload` over the backbone at `now`. Returns `true` when the
+    /// message was enqueued for delivery and `false` when the transport
+    /// dropped it (loss coin or full link queue). The sender always pays
+    /// the wire accounting — a lost message was still transmitted.
+    ///
+    /// Panics if [`enable_transport`](Self::enable_transport) has not been
+    /// called.
+    pub fn transmit(&mut self, now: SimTime, from: CellId, to: CellId, payload: Payload) -> bool {
+        let kind = payload.kind();
+        self.send(from, to, kind);
+        let tp = self
+            .transport
+            .as_mut()
+            .expect("transmit requires enable_transport");
+        // Always advance the loss stream when loss is configured, even for
+        // messages a full queue will drop, so the stream position depends
+        // only on the transmit count — not on queue occupancy history.
+        let lost = tp.config.loss_prob > 0.0 && tp.loss_rng.gen_bool(tp.config.loss_prob);
+        if lost {
+            tp.faults.dropped_loss += 1;
+            Self::note_drop(now, from, to, kind, "loss");
+            return false;
+        }
+        let link = (from.0, to.0);
+        let load = tp.link_load.entry(link).or_insert(0);
+        if let Some(limit) = tp.config.queue_limit {
+            if *load >= limit {
+                tp.faults.dropped_overflow += 1;
+                Self::note_drop(now, from, to, kind, "overflow");
+                return false;
+            }
+        }
+        *load += 1;
+        let hops = self.kind.hops_per_message();
+        let deliver_at = now + tp.config.hop_latency * hops as f64;
+        debug_assert!(
+            tp.inflight
+                .back()
+                .is_none_or(|e| e.deliver_at <= deliver_at),
+            "transport deliveries must stay FIFO-sorted"
+        );
+        tp.inflight.push_back(Envelope {
+            deliver_at,
+            from,
+            to,
+            payload,
+        });
+        let inflight = tp.inflight.len() as u64;
+        if inflight > tp.faults.max_inflight {
+            tp.faults.max_inflight = inflight;
+            if qres_obs::enabled() {
+                qres_obs::metrics::BACKBONE_INFLIGHT_HIGH_WATER.observe(inflight);
+            }
+        }
+        true
+    }
+
+    fn note_drop(now: SimTime, from: CellId, to: CellId, kind: MessageKind, reason: &'static str) {
+        if qres_obs::enabled() {
+            qres_obs::metrics::BACKBONE_DROPPED_TOTAL.add(1);
+            match reason {
+                "loss" => qres_obs::metrics::BACKBONE_DROPPED_LOSS_TOTAL.add(1),
+                _ => qres_obs::metrics::BACKBONE_DROPPED_OVERFLOW_TOTAL.add(1),
+            }
+            qres_obs::record(qres_obs::ObsEvent::BackboneDrop {
+                t: now.as_secs(),
+                from: from.0,
+                to: to.0,
+                kind: kind.label(),
+                reason,
+            });
+        }
+    }
+
+    /// Arrival time of the earliest in-flight message, if any.
+    pub fn next_delivery_time(&self) -> Option<SimTime> {
+        self.transport
+            .as_ref()
+            .and_then(|tp| tp.inflight.front().map(|e| e.deliver_at))
+    }
+
+    /// Removes and returns the earliest in-flight message once its arrival
+    /// time has been reached. Returns `None` when nothing is due at `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Envelope> {
+        let tp = self.transport.as_mut()?;
+        if tp.inflight.front()?.deliver_at > now {
+            return None;
+        }
+        let env = tp.inflight.pop_front()?;
+        let link = (env.from.0, env.to.0);
+        if let Some(load) = tp.link_load.get_mut(&link) {
+            *load = load.saturating_sub(1);
+        }
+        Some(env)
+    }
+
+    /// Number of messages currently in flight.
+    pub fn inflight_len(&self) -> usize {
+        self.transport.as_ref().map_or(0, |tp| tp.inflight.len())
+    }
+
+    /// Deterministic transport fault counters (zero when the transport is
+    /// disabled or ideal).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.transport
+            .as_ref()
+            .map_or_else(FaultStats::default, |tp| tp.faults)
     }
 }
 
@@ -242,6 +545,139 @@ mod tests {
         net.reset_stats();
         assert_eq!(net.stats(), MessageStats::default());
         assert_eq!(net.stats_for(MessageKind::ReservationReply), (0, 0));
+    }
+
+    fn cfg(latency_secs: f64, loss: f64, limit: Option<usize>) -> BackboneConfig {
+        BackboneConfig {
+            hop_latency: Duration::from_secs(latency_secs),
+            loss_prob: loss,
+            queue_limit: limit,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn star_transport_pays_two_hops_of_latency() {
+        let mut net = BsNetwork::new(BsNetworkKind::StarViaMsc);
+        net.enable_transport(cfg(0.5, 0.0, None));
+        let sent = net.transmit(
+            SimTime::from_secs(10.0),
+            CellId(0),
+            CellId(1),
+            Payload::Commit { admission: 1 },
+        );
+        assert!(sent);
+        assert_eq!(net.next_delivery_time(), Some(SimTime::from_secs(11.0)));
+        assert!(net.pop_due(SimTime::from_secs(10.9)).is_none());
+        let env = net.pop_due(SimTime::from_secs(11.0)).expect("due");
+        assert_eq!(env.payload, Payload::Commit { admission: 1 });
+        assert_eq!(env.from, CellId(0));
+        assert_eq!(env.to, CellId(1));
+        assert_eq!(net.inflight_len(), 0);
+    }
+
+    #[test]
+    fn mesh_transport_pays_one_hop() {
+        let mut net = BsNetwork::new(BsNetworkKind::FullyConnected);
+        net.enable_transport(cfg(0.5, 0.0, None));
+        net.transmit(
+            SimTime::from_secs(0.0),
+            CellId(0),
+            CellId(1),
+            Payload::Abort { admission: 2 },
+        );
+        assert_eq!(net.next_delivery_time(), Some(SimTime::from_secs(0.5)));
+    }
+
+    #[test]
+    fn deliveries_are_fifo_among_equal_times() {
+        let mut net = BsNetwork::new(BsNetworkKind::FullyConnected);
+        net.enable_transport(cfg(0.0, 0.0, None));
+        let t = SimTime::from_secs(1.0);
+        for adm in 0..4u64 {
+            net.transmit(t, CellId(0), CellId(1), Payload::Commit { admission: adm });
+        }
+        for adm in 0..4u64 {
+            assert_eq!(net.pop_due(t).expect("due").payload.admission(), adm);
+        }
+    }
+
+    #[test]
+    fn certain_loss_drops_everything_but_still_bills_the_sender() {
+        let mut net = BsNetwork::new(BsNetworkKind::FullyConnected);
+        net.enable_transport(cfg(0.1, 1.0, None));
+        for adm in 0..10u64 {
+            let sent = net.transmit(
+                SimTime::from_secs(adm as f64),
+                CellId(0),
+                CellId(1),
+                Payload::CheckReply {
+                    admission: adm,
+                    ok: true,
+                },
+            );
+            assert!(!sent);
+        }
+        assert_eq!(net.fault_stats().dropped_loss, 10);
+        assert_eq!(net.inflight_len(), 0);
+        // The wire accounting still sees ten transmitted messages.
+        assert_eq!(net.stats().messages, 10);
+    }
+
+    #[test]
+    fn bounded_link_queue_overflows() {
+        let mut net = BsNetwork::new(BsNetworkKind::FullyConnected);
+        net.enable_transport(cfg(5.0, 0.0, Some(2)));
+        let t = SimTime::from_secs(0.0);
+        assert!(net.transmit(t, CellId(0), CellId(1), Payload::Commit { admission: 0 }));
+        assert!(net.transmit(t, CellId(0), CellId(1), Payload::Commit { admission: 1 }));
+        // Third message on the saturated 0→1 link drops; the reverse link
+        // and other pairs are unaffected.
+        assert!(!net.transmit(t, CellId(0), CellId(1), Payload::Commit { admission: 2 }));
+        assert!(net.transmit(t, CellId(1), CellId(0), Payload::Commit { admission: 3 }));
+        assert_eq!(net.fault_stats().dropped_overflow, 1);
+        // Draining the link frees capacity for new messages.
+        let due = SimTime::from_secs(5.0);
+        net.pop_due(due).expect("first");
+        assert!(net.transmit(due, CellId(0), CellId(1), Payload::Commit { admission: 4 }));
+    }
+
+    #[test]
+    fn inflight_high_water_tracks_peak() {
+        let mut net = BsNetwork::new(BsNetworkKind::FullyConnected);
+        net.enable_transport(cfg(1.0, 0.0, None));
+        let t = SimTime::from_secs(0.0);
+        for adm in 0..5u64 {
+            net.transmit(t, CellId(0), CellId(1), Payload::Commit { admission: adm });
+        }
+        while net.pop_due(SimTime::from_secs(1.0)).is_some() {}
+        assert_eq!(net.fault_stats().max_inflight, 5);
+        assert_eq!(net.inflight_len(), 0);
+    }
+
+    #[test]
+    fn loss_stream_is_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let mut net = BsNetwork::new(BsNetworkKind::FullyConnected);
+            net.enable_transport(BackboneConfig {
+                hop_latency: Duration::from_secs(0.0),
+                loss_prob: 0.3,
+                queue_limit: None,
+                seed,
+            });
+            (0..100u64)
+                .map(|adm| {
+                    net.transmit(
+                        SimTime::from_secs(0.0),
+                        CellId(0),
+                        CellId(1),
+                        Payload::Commit { admission: adm },
+                    )
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
     }
 
     #[test]

@@ -35,11 +35,13 @@ pub mod config;
 pub mod ns_scheme;
 pub mod reservation;
 pub mod system;
+pub mod twophase;
 pub mod window_control;
 
 pub use admission::{AcKind, AdmissionDecision, SchemeConfig};
 pub use config::QresConfig;
 pub use ns_scheme::NsParams;
 pub use reservation::{neighbor_contribution, neighbor_contribution_naive};
-pub use system::{HandoffOutcome, NewConnectionRequest, ReservationSystem};
+pub use system::{AdmissionVeto, HandoffOutcome, NewConnectionRequest, ReservationSystem};
+pub use twophase::{AsyncSignalingConfig, CompletedAdmission, SignalingTimeouts, TimeoutVerdict};
 pub use window_control::{StepPolicy, WindowController};

@@ -21,7 +21,8 @@
 //! round-trip with each of that cell's neighbors on the backbone.
 
 use qres_cellnet::{
-    Bandwidth, BsNetwork, BsNetworkKind, Cell, CellId, ConnInfo, ConnectionId, Topology,
+    BackboneConfig, Bandwidth, BsNetwork, BsNetworkKind, Cell, CellId, ConnInfo, ConnectionId,
+    Envelope, Payload, Topology,
 };
 use qres_des::{Duration, SimTime};
 use qres_mobility::{HandoffEvent, HoeCache};
@@ -30,6 +31,10 @@ use qres_stats::Welford;
 use crate::admission::{AcKind, AdmissionDecision, SchemeConfig};
 use crate::config::QresConfig;
 use crate::reservation::neighbor_contribution;
+use crate::twophase::{
+    AsyncSignalingConfig, BrTerm, CompletedAdmission, NestedCheck, NestedProbe, PendingAdmission,
+    ShadowTicket, SignalingTimeouts, TimeoutVerdict,
+};
 use crate::window_control::WindowController;
 
 /// A new-connection request arriving at a cell.
@@ -88,7 +93,32 @@ struct CellSite {
     /// reused by [`ReservationSystem::compute_br`] while the epoch keys
     /// match (see [`QresConfig::br_staleness_tolerance`]).
     br_memo: std::collections::BTreeMap<CellId, NeighborMemo>,
+    /// Bandwidth this cell has shadow-reserved for in-flight two-phase
+    /// admissions at adjacent cells: approved but not yet committed. Always
+    /// zero on the synchronous path (and, at any drained instant, on the
+    /// zero-latency asynchronous path).
+    shadow_held: f64,
+    /// The holds backing `shadow_held`, keyed by admission id.
+    tickets: std::collections::BTreeMap<u64, ShadowTicket>,
 }
+
+/// The asynchronous two-phase signaling plane (present when
+/// [`ReservationSystem::enable_async_signaling`] was called).
+struct AsyncState {
+    config: AsyncSignalingConfig,
+    /// In-flight admissions, by admission id.
+    pending: std::collections::BTreeMap<u64, PendingAdmission>,
+    /// In-flight nested neighbor probes, by (admission id, checked cell).
+    nested: std::collections::BTreeMap<(u64, u32), NestedProbe>,
+    timeouts: SignalingTimeouts,
+    /// Resolved admissions awaiting pickup by the driver.
+    completed: Vec<CompletedAdmission>,
+}
+
+/// External admission veto consulted when a two-phase admission resolves:
+/// `true` blocks the connection (e.g. the driver's wired-backbone
+/// re-check, whose answer may have changed while signaling was in flight).
+pub type AdmissionVeto<'a> = dyn FnMut(&NewConnectionRequest) -> bool + 'a;
 
 /// The full reservation system over one cellular network.
 pub struct ReservationSystem {
@@ -105,6 +135,8 @@ pub struct ReservationSystem {
     /// not telemetry is on; pairs `Admission` events with the
     /// `BrCompute` children they triggered (`qres obstrace` spans).
     admission_req_seq: u64,
+    /// The asynchronous signaling plane, when enabled.
+    async_sig: Option<AsyncState>,
 }
 
 impl ReservationSystem {
@@ -127,6 +159,8 @@ impl ReservationSystem {
                     ),
                     last_br: 0.0,
                     br_memo: std::collections::BTreeMap::new(),
+                    shadow_held: 0.0,
+                    tickets: std::collections::BTreeMap::new(),
                 }
             })
             .collect();
@@ -139,6 +173,7 @@ impl ReservationSystem {
             br_calcs_total: 0,
             br_memo_hits: 0,
             admission_req_seq: 0,
+            async_sig: None,
         }
     }
 
@@ -213,8 +248,13 @@ impl ReservationSystem {
     /// at the exact same instant, which is bit-identical to recomputing it.
     fn compute_br(&mut self, now: SimTime, target: CellId) -> f64 {
         let t_est = self.sites[target.index()].controller.t_est();
-        let tolerance = self.config.br_staleness_tolerance;
         let req_id = self.admission_req_seq;
+        let obs_on = qres_obs::enabled();
+        let obs_call_t0 = obs_on.then(std::time::Instant::now);
+        let mut obs_hits = 0u32;
+        let mut obs_recomputed = 0u32;
+        let mut br = 0.0;
+        let tolerance = self.config.br_staleness_tolerance;
         let Self {
             topology,
             sites,
@@ -222,66 +262,105 @@ impl ReservationSystem {
             br_memo_hits,
             ..
         } = self;
-        let obs_on = qres_obs::enabled();
-        let obs_call_t0 = obs_on.then(std::time::Instant::now);
-        let mut obs_hits = 0u32;
-        let mut obs_recomputed = 0u32;
-        let mut br = 0.0;
         for &nb in topology.neighbors(target) {
             // The target's BS announces T_est and the neighbor replies
             // with its contribution: one round-trip per neighbor.
             signaling.reservation_exchange(target, nb);
-            let obs_t0 = obs_on.then(std::time::Instant::now);
-            let cell_version = sites[nb.index()].cell.version();
-            let hoe_version = sites[nb.index()].hoe.version();
-            let memo_hit = sites[target.index()].br_memo.get(&nb).copied().filter(|m| {
-                m.cell_version == cell_version
-                    && m.hoe_version == hoe_version
-                    && m.t_est == t_est
-                    && now >= m.now
-                    && now - m.now <= tolerance
-            });
-            let was_hit = memo_hit.is_some();
-            br += match memo_hit {
-                Some(m) => {
-                    *br_memo_hits += 1;
-                    m.value
-                }
-                None => {
-                    let site = &mut sites[nb.index()];
-                    let value =
-                        neighbor_contribution(&site.cell, &mut site.hoe, now, target, t_est);
-                    // The evaluation may have rebuilt the neighbor's
-                    // snapshot (bumping its version): key the memo on the
-                    // post-evaluation state it reflects.
-                    let hoe_version = site.hoe.version();
-                    sites[target.index()].br_memo.insert(
-                        nb,
-                        NeighborMemo {
-                            cell_version,
-                            hoe_version,
-                            t_est,
-                            now,
-                            value,
-                        },
-                    );
-                    value
-                }
-            };
-            if let Some(t0) = obs_t0 {
-                let elapsed = t0.elapsed();
+            let (value, was_hit) =
+                Self::eval_neighbor_term(sites, br_memo_hits, tolerance, now, target, nb, t_est);
+            br += value;
+            if obs_on {
                 if was_hit {
                     obs_hits += 1;
-                    qres_obs::metrics::BR_TERM_HIT_NS.record_duration(elapsed);
                 } else {
                     obs_recomputed += 1;
-                    qres_obs::metrics::BR_TERM_MISS_NS.record_duration(elapsed);
                 }
             }
         }
+        let obs = obs_call_t0.map(|t0| (t0, obs_hits, obs_recomputed));
+        self.finish_br(now, target, br, req_id, obs);
+        br
+    }
+
+    /// One neighbor's `B_i,target` term (Eq. 4), memoized under the epoch
+    /// key. This is the unit of evaluation shared by the synchronous path
+    /// ([`Self::compute_br`]) and the asynchronous one (a `BrQuery`
+    /// delivery): it reads the same versions, consults the same memo, and
+    /// records the same per-term telemetry in both. Takes the destructured
+    /// fields rather than `&mut self` so `compute_br`'s hot loop can keep
+    /// its split borrow of the topology alive across iterations.
+    #[inline]
+    fn eval_neighbor_term(
+        sites: &mut [CellSite],
+        br_memo_hits: &mut u64,
+        tolerance: Duration,
+        now: SimTime,
+        target: CellId,
+        nb: CellId,
+        t_est: Duration,
+    ) -> (f64, bool) {
+        let obs_t0 = qres_obs::enabled().then(std::time::Instant::now);
+        let cell_version = sites[nb.index()].cell.version();
+        let hoe_version = sites[nb.index()].hoe.version();
+        let memo_hit = sites[target.index()].br_memo.get(&nb).copied().filter(|m| {
+            m.cell_version == cell_version
+                && m.hoe_version == hoe_version
+                && m.t_est == t_est
+                && now >= m.now
+                && now - m.now <= tolerance
+        });
+        let was_hit = memo_hit.is_some();
+        let value = match memo_hit {
+            Some(m) => {
+                *br_memo_hits += 1;
+                m.value
+            }
+            None => {
+                let site = &mut sites[nb.index()];
+                let value = neighbor_contribution(&site.cell, &mut site.hoe, now, target, t_est);
+                // The evaluation may have rebuilt the neighbor's
+                // snapshot (bumping its version): key the memo on the
+                // post-evaluation state it reflects.
+                let hoe_version = site.hoe.version();
+                sites[target.index()].br_memo.insert(
+                    nb,
+                    NeighborMemo {
+                        cell_version,
+                        hoe_version,
+                        t_est,
+                        now,
+                        value,
+                    },
+                );
+                value
+            }
+        };
+        if let Some(t0) = obs_t0 {
+            let elapsed = t0.elapsed();
+            if was_hit {
+                qres_obs::metrics::BR_TERM_HIT_NS.record_duration(elapsed);
+            } else {
+                qres_obs::metrics::BR_TERM_MISS_NS.record_duration(elapsed);
+            }
+        }
+        (value, was_hit)
+    }
+
+    /// The common tail of a completed `B_r` computation, whether its terms
+    /// were evaluated inline or assembled from asynchronous replies.
+    /// `obs` carries the call-start instant plus the memo hit/recompute
+    /// counts, present only while telemetry is enabled.
+    fn finish_br(
+        &mut self,
+        now: SimTime,
+        target: CellId,
+        br: f64,
+        req_id: u64,
+        obs: Option<(std::time::Instant, u32, u32)>,
+    ) {
         self.sites[target.index()].last_br = br;
         self.br_calcs_total += 1;
-        if let Some(t0) = obs_call_t0 {
+        if let Some((t0, obs_hits, obs_recomputed)) = obs {
             let elapsed = t0.elapsed();
             qres_obs::metrics::BR_COMPUTE_NS.record_cell_duration(target.0, elapsed);
             qres_obs::metrics::BR_MEMO_HITS_TOTAL.add(u64::from(obs_hits));
@@ -301,10 +380,10 @@ impl ReservationSystem {
             // bookkeeping would land in `qres_admission_test_ns`. The
             // staged updates — and the calibration forecasts staged by
             // `neighbor_contribution` — publish after the admission
-            // timing record in `request_new_connection`.
+            // timing record in `request_new_connection` (or, on the
+            // asynchronous path, at admission resolution).
             qres_obs::qos::stage_br_update(target.0, br);
         }
-        br
     }
 
     /// Whether neighbor `i` passes the AC2 feasibility test
@@ -472,6 +551,706 @@ impl ReservationSystem {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous two-phase signaling (see `crate::twophase`).
+    // ------------------------------------------------------------------
+
+    /// Turns the backbone into a real message transport and admission into
+    /// the two-phase probe → reserve → commit lifecycle. New connections
+    /// must then be submitted with [`Self::begin_new_connection`] and the
+    /// plane driven with [`Self::process_signaling`].
+    pub fn enable_async_signaling(
+        &mut self,
+        backbone: BackboneConfig,
+        config: AsyncSignalingConfig,
+    ) {
+        self.signaling.enable_transport(backbone);
+        self.async_sig = Some(AsyncState {
+            config,
+            pending: std::collections::BTreeMap::new(),
+            nested: std::collections::BTreeMap::new(),
+            timeouts: SignalingTimeouts::default(),
+            completed: Vec::new(),
+        });
+    }
+
+    /// Whether the asynchronous signaling plane is enabled.
+    pub fn async_enabled(&self) -> bool {
+        self.async_sig.is_some()
+    }
+
+    /// Deterministic fault counters of the two-phase protocol (zero when
+    /// the plane is disabled).
+    pub fn signaling_timeouts(&self) -> SignalingTimeouts {
+        self.async_sig
+            .as_ref()
+            .map(|s| s.timeouts)
+            .unwrap_or_default()
+    }
+
+    /// Admissions still awaiting signaling.
+    pub fn pending_admissions(&self) -> usize {
+        self.async_sig.as_ref().map_or(0, |s| s.pending.len())
+    }
+
+    /// Bandwidth a cell currently shadow-holds for uncommitted admissions
+    /// at adjacent cells.
+    pub fn shadow_held(&self, id: CellId) -> f64 {
+        self.sites[id.index()].shadow_held
+    }
+
+    /// Drains and returns the admissions resolved since the last call.
+    pub fn take_completed(&mut self) -> Vec<CompletedAdmission> {
+        self.async_sig
+            .as_mut()
+            .map(|s| std::mem::take(&mut s.completed))
+            .unwrap_or_default()
+    }
+
+    /// The next instant at which the signaling plane has work: a message
+    /// delivery, a reply deadline, or a shadow-hold expiry. `None` when
+    /// the plane is idle (or disabled).
+    pub fn next_signaling_time(&self) -> Option<SimTime> {
+        let st = self.async_sig.as_ref()?;
+        let mut next = self.signaling.next_delivery_time();
+        let deadlines = st
+            .pending
+            .values()
+            .map(|p| p.deadline)
+            .chain(st.nested.values().map(|n| n.deadline))
+            .chain(
+                self.sites
+                    .iter()
+                    .flat_map(|s| s.tickets.values().map(|t| t.expires)),
+            );
+        for t in deadlines {
+            next = Some(match next {
+                Some(n) if n <= t => n,
+                _ => t,
+            });
+        }
+        next
+    }
+
+    /// Starts a two-phase admission: sends the phase-1 probes and registers
+    /// the pending decision. Requests that need no signaling (the static
+    /// scheme, a cell without neighbors) resolve before this returns; all
+    /// others resolve in [`Self::process_signaling`] and are handed back
+    /// via [`Self::take_completed`].
+    pub fn begin_new_connection(&mut self, now: SimTime, req: NewConnectionRequest) {
+        let mut st = self
+            .async_sig
+            .take()
+            .expect("begin_new_connection requires enable_async_signaling");
+        self.admission_req_seq += 1;
+        let req_id = self.admission_req_seq;
+        let is_static = matches!(self.config.scheme, SchemeConfig::Static { .. });
+        let probed: Vec<CellId> = if is_static {
+            Vec::new()
+        } else {
+            self.topology.neighbors(req.cell).to_vec()
+        };
+        let pending = PendingAdmission {
+            req,
+            req_id,
+            deadline: now + st.config.reply_timeout,
+            terms: vec![None; probed.len()],
+            probed,
+            checks: Vec::new(),
+            local_ok: false,
+            in_check_phase: false,
+            calcs: 0,
+            memo_hits: 0,
+        };
+        let no_probes = pending.probed.is_empty();
+        st.pending.insert(req_id, pending);
+        if let SchemeConfig::Static { guard } = self.config.scheme {
+            // The guard-band test is purely local: no signaling at all.
+            let ok = self.sites[req.cell.index()]
+                .cell
+                .fits_with_reserve(req.bandwidth, guard.as_f64());
+            st.pending.get_mut(&req_id).unwrap().local_ok = ok;
+            let mut no_veto = |_: &NewConnectionRequest| false;
+            self.resolve_pending(&mut st, now, req_id, false, &mut no_veto);
+        } else {
+            // NS polls usage only; the origin computes the terms itself.
+            let eval = !matches!(self.config.scheme, SchemeConfig::NaghshinehSchwartz { .. });
+            let t_est = self.sites[req.cell.index()].controller.t_est();
+            let num_neighbors = self.topology.neighbors(req.cell).len();
+            for i in 0..num_neighbors {
+                let nb = self.topology.neighbors(req.cell)[i];
+                self.signaling.transmit(
+                    now,
+                    req.cell,
+                    nb,
+                    Payload::BrQuery {
+                        admission: req_id,
+                        t_est_secs: t_est.as_secs(),
+                        eval,
+                    },
+                );
+            }
+            if no_probes {
+                let mut no_veto = |_: &NewConnectionRequest| false;
+                self.finish_origin_probe(&mut st, now, req_id, &mut no_veto);
+            }
+        }
+        self.async_sig = Some(st);
+    }
+
+    /// Drives the signaling plane up to `now`: delivers every due message,
+    /// then fires every due deadline, repeating until neither has work
+    /// (deliveries win ties, so a reply arriving exactly at its deadline
+    /// still counts). `external_veto` is consulted once per admission that
+    /// would otherwise be admitted, at resolution time.
+    pub fn process_signaling(&mut self, now: SimTime, external_veto: &mut AdmissionVeto<'_>) {
+        let Some(mut st) = self.async_sig.take() else {
+            return;
+        };
+        loop {
+            let mut progressed = false;
+            while let Some(env) = self.signaling.pop_due(now) {
+                progressed = true;
+                // React at the message's own arrival time, not the drain
+                // time: a BS answers a query the moment it lands, so the
+                // cascade's timestamps are independent of how late the
+                // driver drains the queue.
+                let at = env.deliver_at;
+                self.handle_envelope(&mut st, at, env, external_veto);
+            }
+            if self.fire_deadlines(&mut st, now, external_veto) {
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.async_sig = Some(st);
+    }
+
+    fn handle_envelope(
+        &mut self,
+        st: &mut AsyncState,
+        now: SimTime,
+        env: Envelope,
+        veto: &mut AdmissionVeto<'_>,
+    ) {
+        match env.payload {
+            Payload::BrQuery {
+                admission,
+                t_est_secs,
+                eval,
+            } => {
+                // `env.from` is the cell whose B_r is being computed; the
+                // receiver evaluates its contribution into it.
+                let (value, memo_hit) = if eval {
+                    let tolerance = self.config.br_staleness_tolerance;
+                    let Self {
+                        sites,
+                        br_memo_hits,
+                        ..
+                    } = self;
+                    Self::eval_neighbor_term(
+                        sites,
+                        br_memo_hits,
+                        tolerance,
+                        now,
+                        env.from,
+                        env.to,
+                        Duration::from_secs(t_est_secs),
+                    )
+                } else {
+                    (0.0, false)
+                };
+                let site = &self.sites[env.to.index()];
+                let reply = Payload::BrReply {
+                    admission,
+                    value,
+                    used_bus: site.cell.used().as_bus(),
+                    last_br: site.last_br,
+                    memo_hit,
+                };
+                self.signaling.transmit(now, env.to, env.from, reply);
+            }
+            Payload::BrReply {
+                admission,
+                value,
+                used_bus,
+                last_br,
+                memo_hit,
+            } => {
+                let term = BrTerm {
+                    value,
+                    used_bus,
+                    last_br,
+                    memo_hit,
+                };
+                // A checked neighbor's nested probe?
+                if let Some(np) = st.nested.get_mut(&(admission, env.to.0)) {
+                    let slot = np
+                        .probed
+                        .iter()
+                        .position(|&nb| nb == env.from)
+                        .filter(|&i| np.terms[i].is_none());
+                    if let Some(i) = slot {
+                        np.terms[i] = Some(term);
+                        if np.terms.iter().all(Option::is_some) {
+                            self.finish_nested_probe(st, now, admission, env.to, false);
+                        }
+                        return;
+                    }
+                }
+                // The origin's own phase-1 probe?
+                if let Some(p) = st
+                    .pending
+                    .get_mut(&admission)
+                    .filter(|p| p.req.cell == env.to)
+                {
+                    let slot = p
+                        .probed
+                        .iter()
+                        .position(|&nb| nb == env.from)
+                        .filter(|&i| p.terms[i].is_none());
+                    if let Some(i) = slot {
+                        p.terms[i] = Some(term);
+                        if p.terms.iter().all(Option::is_some) {
+                            self.finish_origin_probe(st, now, admission, veto);
+                        }
+                        return;
+                    }
+                }
+                st.timeouts.stale_replies += 1;
+            }
+            Payload::CheckRequest {
+                admission,
+                bandwidth_bus,
+            } => {
+                // The checked neighbor recomputes its own B_r before it
+                // answers: probe its neighbors first.
+                let checked = env.to;
+                let probed: Vec<CellId> = self.topology.neighbors(checked).to_vec();
+                let t_est = self.sites[checked.index()].controller.t_est();
+                let no_probes = probed.is_empty();
+                st.nested.insert(
+                    (admission, checked.0),
+                    NestedProbe {
+                        origin: env.from,
+                        bandwidth_bus,
+                        deadline: now + st.config.reply_timeout,
+                        terms: vec![None; probed.len()],
+                        probed: probed.clone(),
+                    },
+                );
+                for nb in probed {
+                    self.signaling.transmit(
+                        now,
+                        checked,
+                        nb,
+                        Payload::BrQuery {
+                            admission,
+                            t_est_secs: t_est.as_secs(),
+                            eval: true,
+                        },
+                    );
+                }
+                if no_probes {
+                    self.finish_nested_probe(st, now, admission, checked, false);
+                }
+            }
+            Payload::CheckReply { admission, ok } => {
+                let Some(p) = st
+                    .pending
+                    .get_mut(&admission)
+                    .filter(|p| p.req.cell == env.to)
+                else {
+                    st.timeouts.stale_replies += 1;
+                    return;
+                };
+                let Some(check) = p
+                    .checks
+                    .iter_mut()
+                    .find(|c| c.neighbor == env.from && c.verdict.is_none())
+                else {
+                    st.timeouts.stale_replies += 1;
+                    return;
+                };
+                check.verdict = Some(ok);
+                if p.checks.iter().all(|c| c.verdict.is_some()) {
+                    self.resolve_pending(st, now, admission, false, veto);
+                }
+            }
+            Payload::Commit { admission } | Payload::Abort { admission } => {
+                // Either way the admission is resolved at the origin:
+                // release any shadow hold and cancel any nested probe
+                // still working on its behalf.
+                let site = &mut self.sites[env.to.index()];
+                if let Some(t) = site.tickets.remove(&admission) {
+                    site.shadow_held -= t.bandwidth;
+                }
+                st.nested.remove(&(admission, env.to.0));
+            }
+        }
+    }
+
+    /// All phase-1 replies are in: assemble `B_r,0`, run the local test,
+    /// and either resolve (AC1/NS) or fan out the phase-2 checks (AC2, and
+    /// AC3 for the suspects its piggybacked state identifies).
+    fn finish_origin_probe(
+        &mut self,
+        st: &mut AsyncState,
+        now: SimTime,
+        admission: u64,
+        veto: &mut AdmissionVeto<'_>,
+    ) {
+        let (req, probed, terms) = {
+            let p = &st.pending[&admission];
+            (p.req, p.probed.clone(), p.terms.clone())
+        };
+        let obs_on = qres_obs::enabled();
+        let obs_t0 = obs_on.then(std::time::Instant::now);
+        let mut hits = 0u32;
+        let mut recomputed = 0u32;
+        let mut br0 = 0.0;
+        if let SchemeConfig::NaghshinehSchwartz { params } = self.config.scheme {
+            for (i, &nb) in probed.iter().enumerate() {
+                let term = terms[i].expect("probe finished with missing term");
+                let fanout = self.topology.neighbors(nb).len().max(1);
+                br0 += params.neighbor_contribution(term.used_bus, fanout);
+            }
+            // Matches the synchronous NS tail: the target updates and the
+            // poll counts one calculation, but no Eq.-4 span is emitted.
+            self.sites[req.cell.index()].last_br = br0;
+            self.br_calcs_total += 1;
+        } else {
+            for term in &terms {
+                let term = term.expect("probe finished with missing term");
+                br0 += term.value;
+                if obs_on {
+                    if term.memo_hit {
+                        hits += 1;
+                    } else {
+                        recomputed += 1;
+                    }
+                }
+            }
+            let obs = obs_t0.map(|t0| (t0, hits, recomputed));
+            self.finish_br(now, req.cell, br0, admission, obs);
+        }
+        let local_ok = self.sites[req.cell.index()]
+            .cell
+            .fits_with_reserve(req.bandwidth, br0);
+        {
+            let p = st.pending.get_mut(&admission).unwrap();
+            p.calcs += 1;
+            p.memo_hits = hits;
+            p.local_ok = local_ok;
+        }
+        let checks: Vec<NestedCheck> = match self.config.scheme {
+            SchemeConfig::Predictive { kind: AcKind::Ac2 } => probed
+                .iter()
+                .enumerate()
+                .map(|(rank, &nb)| NestedCheck {
+                    neighbor: nb,
+                    rank: rank as u8,
+                    verdict: None,
+                })
+                .collect(),
+            SchemeConfig::Predictive { kind: AcKind::Ac3 } => probed
+                .iter()
+                .enumerate()
+                .filter(|&(i, &nb)| {
+                    // The suspect test on the reply's piggybacked state:
+                    // Σ b + B_r,i^prev > C(i), exactly what the
+                    // synchronous path reads in place.
+                    let term = terms[i].expect("probe finished with missing term");
+                    let cap = self.sites[nb.index()].cell.capacity().as_f64();
+                    f64::from(term.used_bus) + term.last_br > cap
+                })
+                .map(|(rank, &nb)| NestedCheck {
+                    neighbor: nb,
+                    rank: rank as u8,
+                    verdict: None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        if checks.is_empty() {
+            self.resolve_pending(st, now, admission, false, veto);
+        } else {
+            let p = st.pending.get_mut(&admission).unwrap();
+            p.in_check_phase = true;
+            p.checks = checks.clone();
+            // Phase 2 awaits a fresh set of replies: re-arm the deadline.
+            p.deadline = now + st.config.reply_timeout;
+            for c in &checks {
+                self.signaling.transmit(
+                    now,
+                    req.cell,
+                    c.neighbor,
+                    Payload::CheckRequest {
+                        admission,
+                        bandwidth_bus: req.bandwidth.as_bus(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// A checked neighbor's nested probe concluded (all replies in, or its
+    /// deadline fired): run the feasibility test, shadow-hold on a pass,
+    /// and answer the origin.
+    fn finish_nested_probe(
+        &mut self,
+        st: &mut AsyncState,
+        now: SimTime,
+        admission: u64,
+        checked: CellId,
+        timed_out: bool,
+    ) {
+        let np = st
+            .nested
+            .remove(&(admission, checked.0))
+            .expect("finishing unknown nested probe");
+        let ok = if timed_out {
+            st.timeouts.reply_timeouts += 1;
+            if qres_obs::enabled() {
+                qres_obs::metrics::BACKBONE_TIMEOUT_REPLY_TOTAL.add(1);
+                qres_obs::record(qres_obs::ObsEvent::SignalingTimeout {
+                    t: now.as_secs(),
+                    cell: checked.0,
+                    req: admission,
+                    what: "reply",
+                });
+            }
+            match st.config.timeout_verdict {
+                TimeoutVerdict::Deny => false,
+                TimeoutVerdict::Allow => {
+                    // Optimistic fallback: test against the last target
+                    // this cell managed to compute.
+                    let site = &self.sites[checked.index()];
+                    site.cell.used().as_f64() + site.shadow_held
+                        <= site.cell.capacity().as_f64() - site.last_br
+                }
+            }
+        } else {
+            let obs_on = qres_obs::enabled();
+            let obs_t0 = obs_on.then(std::time::Instant::now);
+            let mut hits = 0u32;
+            let mut recomputed = 0u32;
+            let mut br = 0.0;
+            for term in &np.terms {
+                let term = term.expect("nested probe finished with missing term");
+                br += term.value;
+                if obs_on {
+                    if term.memo_hit {
+                        hits += 1;
+                    } else {
+                        recomputed += 1;
+                    }
+                }
+            }
+            let obs = obs_t0.map(|t0| (t0, hits, recomputed));
+            self.finish_br(now, checked, br, admission, obs);
+            if let Some(p) = st.pending.get_mut(&admission) {
+                p.calcs += 1;
+            }
+            let site = &self.sites[checked.index()];
+            site.cell.used().as_f64() + site.shadow_held <= site.cell.capacity().as_f64() - br
+        };
+        if ok {
+            // Phase 2 hold: back the verdict with a shadow reservation for
+            // the candidate's bandwidth until the origin commits or aborts.
+            let site = &mut self.sites[checked.index()];
+            let bandwidth = f64::from(np.bandwidth_bus);
+            site.shadow_held += bandwidth;
+            site.tickets.insert(
+                admission,
+                ShadowTicket {
+                    bandwidth,
+                    expires: now + st.config.commit_timeout,
+                },
+            );
+        }
+        self.signaling.transmit(
+            now,
+            checked,
+            np.origin,
+            Payload::CheckReply { admission, ok },
+        );
+    }
+
+    /// Resolves a pending admission: derives the decision from what
+    /// arrived (applying the timeout verdict to what did not), re-checks
+    /// capacity and the external veto, releases the checked neighbors, and
+    /// queues the completion for the driver.
+    fn resolve_pending(
+        &mut self,
+        st: &mut AsyncState,
+        now: SimTime,
+        admission: u64,
+        timed_out: bool,
+        veto: &mut AdmissionVeto<'_>,
+    ) {
+        let p = st
+            .pending
+            .remove(&admission)
+            .expect("resolving unknown admission");
+        let obs_t0 = qres_obs::enabled().then(std::time::Instant::now);
+        if timed_out {
+            st.timeouts.reply_timeouts += 1;
+            if qres_obs::enabled() {
+                qres_obs::metrics::BACKBONE_TIMEOUT_REPLY_TOTAL.add(1);
+                qres_obs::record(qres_obs::ObsEvent::SignalingTimeout {
+                    t: now.as_secs(),
+                    cell: p.req.cell.0,
+                    req: admission,
+                    what: "reply",
+                });
+            }
+        }
+        let optimistic = st.config.timeout_verdict == TimeoutVerdict::Allow;
+        let probe_done = p.probed.is_empty() || p.terms.iter().all(Option::is_some);
+        // The first failing — or, under the conservative verdict,
+        // unanswered — check vetoes, by its rank in the full neighbor
+        // list (the index the synchronous path reports).
+        let veto_rank = p
+            .checks
+            .iter()
+            .find(|c| match c.verdict {
+                Some(ok) => !ok,
+                None => !optimistic,
+            })
+            .map(|c| c.rank);
+        let local_pass = if probe_done {
+            p.local_ok
+        } else {
+            // The probe never completed; the optimistic fallback admits
+            // against raw capacity (the conservative path blocks below).
+            optimistic && self.sites[p.req.cell.index()].cell.fits(p.req.bandwidth)
+        };
+        let mut decision = if let Some(neighbor_rank) = veto_rank {
+            AdmissionDecision::BlockedByNeighbor { neighbor_rank }
+        } else if local_pass {
+            AdmissionDecision::Admitted
+        } else {
+            AdmissionDecision::BlockedLocal
+        };
+        // The handshake ran against state that may have moved: a hand-off
+        // (which never waits for signaling) can have consumed the
+        // capacity, and the driver may veto on grounds of its own.
+        if decision.is_admitted()
+            && (!self.sites[p.req.cell.index()].cell.fits(p.req.bandwidth) || veto(&p.req))
+        {
+            decision = AdmissionDecision::BlockedLocal;
+            st.timeouts.races_lost += 1;
+        }
+        // Release every checked neighbor that holds — or may still come
+        // to hold — a shadow reservation for this admission.
+        for c in &p.checks {
+            if c.verdict == Some(false) {
+                continue; // a failed check never holds
+            }
+            let payload = if decision.is_admitted() {
+                Payload::Commit { admission }
+            } else {
+                Payload::Abort { admission }
+            };
+            self.signaling
+                .transmit(now, p.req.cell, c.neighbor, payload);
+        }
+        self.n_calc.add(p.calcs as f64);
+        if let Some(t0) = obs_t0 {
+            let elapsed = t0.elapsed();
+            qres_obs::metrics::ADMISSION_TEST_NS.record_cell_duration(p.req.cell.0, elapsed);
+            qres_obs::record(qres_obs::ObsEvent::Admission {
+                t: now.as_secs(),
+                cell: p.req.cell.0,
+                req: p.req_id,
+                scheme: self.config.scheme.label(),
+                admitted: decision.is_admitted(),
+                blocked_by_neighbor: decision.blocking_neighbor(),
+                br: self.sites[p.req.cell.index()].last_br,
+                dur_ns: elapsed.as_nanos() as u64,
+            });
+            qres_obs::flush_staged(now.as_secs());
+            qres_obs::qos::flush_br_updates(now.as_secs());
+        }
+        if decision.is_admitted() {
+            self.sites[p.req.cell.index()]
+                .cell
+                .insert(ConnInfo {
+                    id: p.req.id,
+                    bandwidth: p.req.bandwidth,
+                    prev: None,
+                    entered_at: now,
+                    known_next: p.req.known_next,
+                })
+                .expect("capacity re-checked at resolution");
+        }
+        st.completed.push(CompletedAdmission {
+            at: now,
+            req: p.req,
+            req_id: p.req_id,
+            decision,
+        });
+    }
+
+    /// Fires every deadline due at `now`: nested probes answer with the
+    /// timeout verdict, origins resolve with it, and expired shadow holds
+    /// release. Returns whether anything fired.
+    fn fire_deadlines(
+        &mut self,
+        st: &mut AsyncState,
+        now: SimTime,
+        veto: &mut AdmissionVeto<'_>,
+    ) -> bool {
+        let mut progressed = false;
+        let due_nested: Vec<(u64, u32)> = st
+            .nested
+            .iter()
+            .filter(|(_, np)| np.deadline <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for (admission, checked) in due_nested {
+            progressed = true;
+            self.finish_nested_probe(st, now, admission, CellId(checked), true);
+        }
+        let due_pending: Vec<u64> = st
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for admission in due_pending {
+            progressed = true;
+            self.resolve_pending(st, now, admission, true, veto);
+        }
+        for (i, site) in self.sites.iter_mut().enumerate() {
+            let expired: Vec<u64> = site
+                .tickets
+                .iter()
+                .filter(|(_, t)| t.expires <= now)
+                .map(|(&k, _)| k)
+                .collect();
+            for admission in expired {
+                progressed = true;
+                let ticket = site.tickets.remove(&admission).unwrap();
+                site.shadow_held -= ticket.bandwidth;
+                st.timeouts.commit_timeouts += 1;
+                if qres_obs::enabled() {
+                    qres_obs::metrics::BACKBONE_TIMEOUT_COMMIT_TOTAL.add(1);
+                    qres_obs::record(qres_obs::ObsEvent::SignalingTimeout {
+                        t: now.as_secs(),
+                        cell: i as u32,
+                        req: admission,
+                        what: "commit",
+                    });
+                }
+            }
+        }
+        progressed
     }
 
     /// Attempts to hand off connection `id` from `from` into the adjacent
@@ -1112,5 +1891,397 @@ mod tests {
         assert_eq!(admission_reqs.len(), 6);
         assert!(admission_reqs.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(br_reqs, admission_reqs, "each test pairs one B_r span");
+    }
+
+    // ---- asynchronous two-phase signaling ----------------------------
+
+    use qres_cellnet::MessageKind;
+
+    fn faulty(latency: f64, loss: f64, limit: Option<usize>) -> BackboneConfig {
+        BackboneConfig {
+            hop_latency: Duration::from_secs(latency),
+            loss_prob: loss,
+            queue_limit: limit,
+            seed: 7,
+        }
+    }
+
+    fn async_system(scheme: SchemeConfig, backbone: BackboneConfig) -> ReservationSystem {
+        let mut sys = system(scheme);
+        sys.enable_async_signaling(backbone, AsyncSignalingConfig::default());
+        sys
+    }
+
+    /// Submits one request and drains the plane at the same instant: at
+    /// zero latency the whole cascade resolves inline.
+    fn async_request(
+        sys: &mut ReservationSystem,
+        now: SimTime,
+        r: NewConnectionRequest,
+    ) -> AdmissionDecision {
+        sys.begin_new_connection(now, r);
+        let mut veto = |_: &NewConnectionRequest| false;
+        sys.process_signaling(now, &mut veto);
+        let done = sys.take_completed();
+        assert_eq!(done.len(), 1, "request did not resolve inline");
+        done[0].decision
+    }
+
+    /// Runs the plane to quiescence, collecting completions.
+    fn drive(sys: &mut ReservationSystem) -> Vec<CompletedAdmission> {
+        let mut done = Vec::new();
+        let mut veto = |_: &NewConnectionRequest| false;
+        while let Some(t) = sys.next_signaling_time() {
+            sys.process_signaling(t, &mut veto);
+            done.extend(sys.take_completed());
+        }
+        done
+    }
+
+    fn request_both(
+        a: &mut ReservationSystem,
+        b: &mut ReservationSystem,
+        t: f64,
+        r: NewConnectionRequest,
+    ) {
+        let ds = a.request_new_connection(s(t), r);
+        let da = async_request(b, s(t), r);
+        assert_eq!(ds, da, "decision diverged at t={t}, id={:?}", r.id);
+    }
+
+    fn handoff_both(
+        a: &mut ReservationSystem,
+        b: &mut ReservationSystem,
+        t: f64,
+        id: u64,
+        from: u32,
+        to: u32,
+    ) {
+        let oa = a.attempt_handoff(s(t), ConnectionId(id), CellId(from), CellId(to));
+        let ob = b.attempt_handoff(s(t), ConnectionId(id), CellId(from), CellId(to));
+        assert_eq!(oa, ob, "hand-off diverged at t={t}, id={id}");
+    }
+
+    /// Bit-exact state equality between a synchronous run and its
+    /// zero-latency asynchronous mirror.
+    fn assert_mirrored(a: &ReservationSystem, b: &ReservationSystem) {
+        assert_eq!(a.br_calcs_total(), b.br_calcs_total());
+        assert_eq!(a.br_memo_hits(), b.br_memo_hits());
+        assert_eq!(a.n_calc_stats().mean(), b.n_calc_stats().mean());
+        assert_eq!(a.admission_requests_total(), b.admission_requests_total());
+        for c in 0..a.num_cells() as u32 {
+            assert_eq!(
+                a.last_br(CellId(c)).to_bits(),
+                b.last_br(CellId(c)).to_bits(),
+                "B_r diverged in cell {c}"
+            );
+            assert_eq!(
+                a.cell(CellId(c)).used().as_bus(),
+                b.cell(CellId(c)).used().as_bus(),
+                "usage diverged in cell {c}"
+            );
+            assert_eq!(b.shadow_held(CellId(c)), 0.0, "dangling hold in cell {c}");
+        }
+        // The four synchronous message kinds count identically; the
+        // asynchronous run additionally carries commit/abort traffic.
+        for kind in [
+            MessageKind::ReservationQuery,
+            MessageKind::ReservationReply,
+            MessageKind::AdmissionCheckRequest,
+            MessageKind::AdmissionCheckReply,
+        ] {
+            assert_eq!(
+                a.signaling().stats_for(kind),
+                b.signaling().stats_for(kind),
+                "{kind:?} traffic diverged"
+            );
+        }
+        assert_eq!(b.signaling_timeouts(), SignalingTimeouts::default());
+        assert_eq!(b.pending_admissions(), 0);
+        assert!(a.check_invariants() && b.check_invariants());
+    }
+
+    #[test]
+    fn async_zero_latency_matches_synchronous_per_scheme() {
+        use crate::ns_scheme::NsParams;
+        for scheme in [
+            SchemeConfig::Predictive { kind: AcKind::Ac1 },
+            SchemeConfig::Predictive { kind: AcKind::Ac2 },
+            SchemeConfig::Predictive { kind: AcKind::Ac3 },
+            SchemeConfig::NaghshinehSchwartz {
+                params: NsParams::tuned_for_highway(),
+            },
+        ] {
+            let mut a = system(scheme);
+            let mut b = async_system(scheme, BackboneConfig::default());
+            // Train a 2 -> 1 -> 0 flow so predictions are non-trivial.
+            for i in 0..30 {
+                request_both(&mut a, &mut b, 1.0 + i as f64 * 0.01, req(2, i, 1));
+            }
+            for i in 0..30 {
+                handoff_both(&mut a, &mut b, 40.0 + i as f64 * 0.1, i, 2, 1);
+            }
+            for i in 0..30 {
+                handoff_both(&mut a, &mut b, 80.0 + i as f64 * 0.1, i, 1, 0);
+            }
+            // A fresh wave sits in cell 1, predicted to enter cell 0.
+            for i in 0..40 {
+                request_both(&mut a, &mut b, 200.0 + i as f64 * 0.01, req(2, 100 + i, 1));
+            }
+            for i in 0..40 {
+                handoff_both(&mut a, &mut b, 230.0 + i as f64 * 0.1, 100 + i, 2, 1);
+            }
+            // Contend for cell 0 and cell 1: a mix of admits and blocks.
+            for i in 0..45 {
+                request_both(&mut a, &mut b, 260.0 + i as f64 * 0.01, req(0, 300 + i, 2));
+            }
+            for i in 0..35 {
+                request_both(&mut a, &mut b, 262.0 + i as f64 * 0.01, req(1, 400 + i, 1));
+            }
+            for i in 0..20 {
+                request_both(&mut a, &mut b, 300.0 + i as f64, req(0, 500 + i, 2));
+            }
+            assert_mirrored(&a, &b);
+        }
+    }
+
+    #[test]
+    fn async_zero_latency_matches_sync_when_neighbor_vetoes() {
+        for kind in [AcKind::Ac2, AcKind::Ac3] {
+            let scheme = SchemeConfig::Predictive { kind };
+            let mut a = system(scheme);
+            let mut b = async_system(scheme, BackboneConfig::default());
+            // Fast 2 -> 1 crossings (sojourn 0.5 s < T_est = 1 s): cell 2
+            // occupants will be predicted into cell 1 almost surely.
+            for i in 0..20u64 {
+                let t = 1.0 + i as f64;
+                request_both(&mut a, &mut b, t, req(2, i, 4));
+                handoff_both(&mut a, &mut b, t + 0.5, i, 2, 1);
+            }
+            // Fill cell 1 to the brim (cell 2 is empty, so B_r,1 = 0).
+            for i in 0..20 {
+                request_both(&mut a, &mut b, 30.0 + i as f64 * 0.01, req(1, 300 + i, 1));
+            }
+            // Re-populate cell 2: its fresh occupants (younger than the
+            // 0.5 s historical sojourn) make B_r,1 sizeable.
+            for i in 0..20 {
+                request_both(&mut a, &mut b, 40.0 + i as f64 * 0.01, req(2, 600 + i, 4));
+            }
+            // One cell-1 request refreshes last_br(1) (and blocks).
+            request_both(&mut a, &mut b, 40.3, req(1, 700, 1));
+            // Cell 0's admission now finds neighbor 1 infeasible (AC2) and
+            // suspect + infeasible (AC3): both paths must report the same
+            // veto rank.
+            let ds = a.request_new_connection(s(40.4), req(0, 800, 1));
+            let da = async_request(&mut b, s(40.4), req(0, 800, 1));
+            assert_eq!(ds, da);
+            assert!(
+                ds.blocking_neighbor().is_some(),
+                "{kind:?}: expected a neighbor veto, got {ds:?}"
+            );
+            assert_mirrored(&a, &b);
+        }
+    }
+
+    #[test]
+    fn async_ac3_reads_suspect_state_from_piggyback() {
+        // Mirror of `ac3_recomputes_suspect_neighbors` on the async path:
+        // the suspect test runs on the (used, last_br) the reply carried.
+        let mut sys = async_system(
+            SchemeConfig::Predictive { kind: AcKind::Ac3 },
+            BackboneConfig::default(),
+        );
+        sys.sites[1].last_br = 1_000.0;
+        let before = sys.br_calcs_total();
+        assert!(async_request(&mut sys, s(1.0), req(0, 1, 1)).is_admitted());
+        // 1 local + 1 suspect recompute; the recompute clears the stale
+        // target.
+        assert_eq!(sys.br_calcs_total() - before, 2);
+        assert_eq!(sys.last_br(CellId(1)), 0.0);
+        let before = sys.br_calcs_total();
+        assert!(async_request(&mut sys, s(2.0), req(0, 2, 1)).is_admitted());
+        assert_eq!(sys.br_calcs_total() - before, 1);
+    }
+
+    #[test]
+    fn static_scheme_resolves_inline_without_messages() {
+        let mut sys = async_system(
+            SchemeConfig::Static {
+                guard: Bandwidth::from_bus(10),
+            },
+            faulty(1.0, 0.5, Some(1)),
+        );
+        sys.begin_new_connection(s(1.0), req(0, 1, 4));
+        let done = sys.take_completed();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].decision.is_admitted());
+        assert_eq!(sys.signaling().stats().messages, 0);
+        assert_eq!(sys.next_signaling_time(), None);
+    }
+
+    #[test]
+    fn reply_timeout_deny_blocks_when_probes_are_lost() {
+        let mut sys = async_system(
+            SchemeConfig::Predictive { kind: AcKind::Ac1 },
+            faulty(1.0, 1.0, None), // every message is lost
+        );
+        sys.begin_new_connection(s(0.0), req(0, 1, 4));
+        assert_eq!(sys.pending_admissions(), 1);
+        // Nothing is in flight (both probes dropped): the next work is the
+        // reply deadline.
+        assert_eq!(sys.next_signaling_time(), Some(s(5.0)));
+        let done = drive(&mut sys);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].decision, AdmissionDecision::BlockedLocal);
+        assert_eq!(done[0].at, s(5.0));
+        assert_eq!(sys.signaling_timeouts().reply_timeouts, 1);
+        assert_eq!(sys.signaling().fault_stats().dropped_loss, 2);
+        assert_eq!(sys.cell(CellId(0)).used().as_bus(), 0);
+    }
+
+    #[test]
+    fn reply_timeout_allow_falls_back_to_raw_capacity() {
+        let mut sys = system(SchemeConfig::Predictive { kind: AcKind::Ac1 });
+        sys.enable_async_signaling(
+            faulty(1.0, 1.0, None),
+            AsyncSignalingConfig {
+                timeout_verdict: TimeoutVerdict::Allow,
+                ..AsyncSignalingConfig::default()
+            },
+        );
+        sys.begin_new_connection(s(0.0), req(0, 1, 4));
+        let done = drive(&mut sys);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].decision.is_admitted());
+        assert_eq!(sys.cell(CellId(0)).used().as_bus(), 4);
+        assert_eq!(sys.signaling_timeouts().reply_timeouts, 1);
+        assert!(sys.check_invariants());
+    }
+
+    #[test]
+    fn concurrent_admissions_see_shadow_holds() {
+        // Two overlapping AC2 admissions checking the same neighbor: the
+        // second must see the first's uncommitted shadow hold and lose.
+        let mut sys = async_system(
+            SchemeConfig::Predictive { kind: AcKind::Ac2 },
+            faulty(1.0, 0.0, None),
+        );
+        // Prefill cell 1 to 95 BU (synchronous setup).
+        for i in 0..95 {
+            assert!(sys
+                .request_new_connection(s(i as f64 * 0.001), req(1, 1_000 + i, 1))
+                .is_admitted());
+        }
+        // A: 10 BU in cell 0; B: 1 BU in cell 2. Both check cell 1. A's
+        // hold (10 BU from t=5.5) makes B's check at t=6.0 fail:
+        // 95 + 10 > 100.
+        sys.begin_new_connection(s(0.5), req(0, 1, 10));
+        sys.begin_new_connection(s(1.0), req(2, 2, 1));
+        let done = drive(&mut sys);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].req.id, ConnectionId(1));
+        assert!(done[0].decision.is_admitted());
+        assert_eq!(done[1].req.id, ConnectionId(2));
+        assert!(
+            done[1].decision.blocking_neighbor().is_some(),
+            "expected a neighbor veto, got {:?}",
+            done[1].decision
+        );
+        // Every hold was committed or aborted; none expired.
+        assert_eq!(sys.shadow_held(CellId(1)), 0.0);
+        assert_eq!(sys.signaling_timeouts().commit_timeouts, 0);
+        assert_eq!(sys.signaling_timeouts().races_lost, 0);
+        assert!(sys.check_invariants());
+    }
+
+    #[test]
+    fn admission_losing_capacity_race_is_downgraded() {
+        let mut sys = async_system(
+            SchemeConfig::Predictive { kind: AcKind::Ac2 },
+            faulty(1.0, 0.0, None),
+        );
+        // A 60-BU connection parked in cell 1 (synchronous setup).
+        assert!(sys
+            .request_new_connection(s(0.0), req(1, 50, 60))
+            .is_admitted());
+        // A asks for 60 BU in cell 0; its local test passes at t=2 with
+        // the cell empty...
+        sys.begin_new_connection(s(0.0), req(0, 1, 60));
+        let mut veto = |_: &NewConnectionRequest| false;
+        sys.process_signaling(s(2.0), &mut veto);
+        assert!(sys.take_completed().is_empty(), "checks still in flight");
+        // ...but a hand-off — which never waits for signaling — takes the
+        // capacity at t=3.
+        assert_eq!(
+            sys.attempt_handoff(s(3.0), ConnectionId(50), CellId(1), CellId(0)),
+            HandoffOutcome::Completed
+        );
+        let done = drive(&mut sys);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].decision, AdmissionDecision::BlockedLocal);
+        assert_eq!(sys.signaling_timeouts().races_lost, 1);
+        assert_eq!(sys.cell(CellId(0)).used().as_bus(), 60);
+        assert!(sys.check_invariants());
+    }
+
+    #[test]
+    fn bounded_queue_overflow_drops_probes_and_times_out() {
+        let mut sys = async_system(
+            SchemeConfig::Predictive { kind: AcKind::Ac1 },
+            faulty(1.0, 0.0, Some(1)),
+        );
+        // Two admissions at the same instant from the same cell: the
+        // second's probes find both links full and are dropped.
+        sys.begin_new_connection(s(0.0), req(0, 1, 1));
+        sys.begin_new_connection(s(0.0), req(0, 2, 1));
+        assert_eq!(sys.signaling().fault_stats().dropped_overflow, 2);
+        let done = drive(&mut sys);
+        assert_eq!(done.len(), 2);
+        assert!(done[0].decision.is_admitted());
+        assert_eq!(done[0].at, s(2.0)); // replies took two one-second hops
+        assert_eq!(done[1].decision, AdmissionDecision::BlockedLocal);
+        assert_eq!(done[1].at, s(5.0)); // reply timeout
+        assert_eq!(sys.signaling_timeouts().reply_timeouts, 1);
+    }
+
+    #[test]
+    fn replies_after_timeout_are_counted_stale() {
+        // Latency above the reply timeout: the origin resolves at t=5 and
+        // both replies straggle in at t=20.
+        let mut sys = async_system(
+            SchemeConfig::Predictive { kind: AcKind::Ac1 },
+            faulty(10.0, 0.0, None),
+        );
+        sys.begin_new_connection(s(0.0), req(0, 1, 1));
+        let done = drive(&mut sys);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].decision, AdmissionDecision::BlockedLocal);
+        assert_eq!(done[0].at, s(5.0));
+        assert_eq!(sys.signaling_timeouts().stale_replies, 2);
+        assert_eq!(sys.signaling_timeouts().reply_timeouts, 1);
+        assert_eq!(sys.pending_admissions(), 0);
+    }
+
+    #[test]
+    fn uncommitted_shadow_hold_expires_on_commit_timeout() {
+        // Commit timeout shorter than the commit's travel time: the
+        // checked neighbors' holds expire before the commit arrives, and
+        // the late commit is a no-op.
+        let mut sys = system(SchemeConfig::Predictive { kind: AcKind::Ac2 });
+        sys.enable_async_signaling(
+            faulty(1.0, 0.0, None),
+            AsyncSignalingConfig {
+                commit_timeout: Duration::from_secs(0.5),
+                ..AsyncSignalingConfig::default()
+            },
+        );
+        sys.begin_new_connection(s(0.0), req(0, 1, 1));
+        let done = drive(&mut sys);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].decision.is_admitted());
+        // Both ring neighbors held and expired.
+        assert_eq!(sys.signaling_timeouts().commit_timeouts, 2);
+        assert_eq!(sys.shadow_held(CellId(1)), 0.0);
+        assert_eq!(sys.shadow_held(CellId(9)), 0.0);
     }
 }

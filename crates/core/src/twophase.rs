@@ -1,0 +1,172 @@
+//! Vocabulary of the asynchronous two-phase admission protocol.
+//!
+//! When the backbone transport is enabled
+//! ([`crate::ReservationSystem::enable_async_signaling`]), multi-cell
+//! admission no longer reads neighbor state synchronously. Each admission
+//! becomes a **probe → reserve → commit** lifecycle driven by real
+//! message deliveries:
+//!
+//! 1. **Probe** — the origin BS announces its `T_est,0` in a `BrQuery` to
+//!    every neighbor; each neighbor evaluates its contribution `B_i,0`
+//!    (Eq. 4) and replies, piggybacking its own load and last `B_r` so the
+//!    origin can run AC3's suspect test on honestly-aged state.
+//! 2. **Reserve** — for AC2/AC3, checked neighbors run the feasibility
+//!    test `Σ b + shadow ≤ C(i) − B_r,i` against a freshly probed `B_r,i`
+//!    of their own, and a passing neighbor *holds a shadow reservation*
+//!    for the candidate's bandwidth until the origin's verdict arrives.
+//! 3. **Commit** — the origin aggregates the verdicts, decides, and sends
+//!    `Commit`/`Abort` so every shadow hold is released. A hold whose
+//!    commit never arrives (lost message) expires on the commit timeout.
+//!
+//! Faults surface as *decisions*, not hangs: a probe whose replies do not
+//! all arrive within the reply timeout resolves with the configured
+//! [`TimeoutVerdict`]; replies that straggle in after their admission
+//! resolved are counted stale and dropped; an admission that won its
+//! handshake but lost the capacity race to a concurrent hand-off is
+//! downgraded to blocked instead of over-committing the cell.
+//!
+//! With zero latency, zero loss, and unbounded queues the whole cascade
+//! unfolds at a single simulation instant in exactly the synchronous
+//! evaluation order, so results are bit-identical to the synchronous path
+//! (enforced by `tests/determinism.rs`).
+
+use qres_cellnet::CellId;
+use qres_des::{Duration, SimTime};
+
+use crate::admission::AdmissionDecision;
+use crate::system::NewConnectionRequest;
+
+/// What a two-phase admission decides when signaling times out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutVerdict {
+    /// Conservative: treat missing information as a veto (block the new
+    /// connection / fail the neighbor check). Protects hand-offs at the
+    /// cost of extra blocking — the paper's priority ordering.
+    Deny,
+    /// Optimistic: fall back to the locally checkable test (raw capacity
+    /// at the origin, last-known `B_r` at a checked neighbor).
+    Allow,
+}
+
+impl TimeoutVerdict {
+    /// Snake-case label for CLI flags and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeoutVerdict::Deny => "deny",
+            TimeoutVerdict::Allow => "allow",
+        }
+    }
+}
+
+/// Deadlines and fallback policy of the two-phase protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncSignalingConfig {
+    /// How long an origin (or a checked neighbor running its nested probe)
+    /// waits for all replies before resolving with the timeout verdict.
+    pub reply_timeout: Duration,
+    /// How long a neighbor holds a shadow reservation awaiting
+    /// `Commit`/`Abort` before expiring it unilaterally.
+    pub commit_timeout: Duration,
+    /// The fallback decision when a deadline fires.
+    pub timeout_verdict: TimeoutVerdict,
+}
+
+impl Default for AsyncSignalingConfig {
+    fn default() -> Self {
+        AsyncSignalingConfig {
+            reply_timeout: Duration::from_secs(5.0),
+            commit_timeout: Duration::from_secs(10.0),
+            timeout_verdict: TimeoutVerdict::Deny,
+        }
+    }
+}
+
+/// Deterministic per-run counters of two-phase protocol faults. Separate
+/// from the process-global telemetry registry so parallel tests (and the
+/// run summary) can assert on them exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SignalingTimeouts {
+    /// Admissions (or nested neighbor probes) resolved by the reply
+    /// timeout instead of a complete reply set.
+    pub reply_timeouts: u64,
+    /// Shadow reservations expired by the commit timeout.
+    pub commit_timeouts: u64,
+    /// Replies that arrived after their admission had already resolved.
+    pub stale_replies: u64,
+    /// Admissions that passed the distributed handshake but lost the
+    /// capacity race at resolution (downgraded to blocked).
+    pub races_lost: u64,
+}
+
+/// A resolved two-phase admission, handed back to the driver so it can run
+/// the bookkeeping it would have done inline on the synchronous path.
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedAdmission {
+    /// When the decision was reached.
+    pub at: SimTime,
+    /// The original request.
+    pub req: NewConnectionRequest,
+    /// The admission's sequence number (`Admission` telemetry span id).
+    pub req_id: u64,
+    /// The decision; on `Admitted` the connection is already registered in
+    /// its cell.
+    pub decision: AdmissionDecision,
+}
+
+/// One neighbor's probe reply, as recorded at the origin.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BrTerm {
+    pub value: f64,
+    pub used_bus: u32,
+    pub last_br: f64,
+    pub memo_hit: bool,
+}
+
+/// One checked neighbor of a pending AC2/AC3 admission.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NestedCheck {
+    pub neighbor: CellId,
+    /// Rank in the origin's **full** neighbor list (the veto index the
+    /// synchronous path reports).
+    pub rank: u8,
+    pub verdict: Option<bool>,
+}
+
+/// The origin-side state of one in-flight admission.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingAdmission {
+    pub req: NewConnectionRequest,
+    pub req_id: u64,
+    pub deadline: SimTime,
+    /// Neighbors queried in phase 1, in neighbor-list order.
+    pub probed: Vec<CellId>,
+    pub terms: Vec<Option<BrTerm>>,
+    /// Checked neighbors of phase 2 (empty for AC1/NS, suspects for AC3).
+    pub checks: Vec<NestedCheck>,
+    /// Whether phase 2 has started (the local test result is then final).
+    pub local_ok: bool,
+    pub in_check_phase: bool,
+    /// `B_r` computations performed on behalf of this admission (`N_calc`).
+    pub calcs: u64,
+    /// Memo hits among this admission's own probe terms (telemetry).
+    pub memo_hits: u32,
+}
+
+/// A checked neighbor's nested probe: it recomputes its own `B_r` from its
+/// neighbors' replies before answering a `CheckRequest`.
+#[derive(Debug, Clone)]
+pub(crate) struct NestedProbe {
+    pub origin: CellId,
+    pub bandwidth_bus: u32,
+    pub deadline: SimTime,
+    pub probed: Vec<CellId>,
+    pub terms: Vec<Option<BrTerm>>,
+}
+
+/// A shadow reservation held at a checked neighbor between its `ok`
+/// verdict and the origin's `Commit`/`Abort`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShadowTicket {
+    pub bandwidth: f64,
+    pub expires: SimTime,
+}

@@ -12,10 +12,10 @@ use crate::recorder::Level;
 
 /// A structured observability event.
 ///
-/// The six event families required by the telemetry spec: admission
+/// The event families required by the telemetry spec: admission
 /// decisions, `B_r` recompute-vs-memo accounting, `T_est` window changes,
-/// HOE quadruplet insert/evict, DES queue high-water marks, and backbone
-/// message sends.
+/// HOE quadruplet insert/evict, DES queue high-water marks, backbone
+/// message sends/drops, and two-phase signaling timeouts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ObsEvent {
     /// A new-connection admission test completed.
@@ -116,6 +116,31 @@ pub enum ObsEvent {
         /// Nominal payload size (bytes).
         bytes: u64,
     },
+    /// The backbone transport dropped a message in transit.
+    BackboneDrop {
+        /// Sim-time of the drop (seconds).
+        t: f64,
+        /// Source cell id.
+        from: u32,
+        /// Destination cell id.
+        to: u32,
+        /// Message kind label.
+        kind: &'static str,
+        /// Drop reason (`loss` / `overflow`).
+        reason: &'static str,
+    },
+    /// A two-phase admission hit a signaling deadline (lost or late reply,
+    /// or a shadow reservation expired without commit/abort).
+    SignalingTimeout {
+        /// Sim-time the deadline fired (seconds).
+        t: f64,
+        /// Cell owning the pending state that timed out.
+        cell: u32,
+        /// The admission-request id that was abandoned or expired.
+        req: u64,
+        /// What timed out (`reply` / `commit`).
+        what: &'static str,
+    },
 }
 
 impl ObsEvent {
@@ -131,7 +156,9 @@ impl ObsEvent {
             ObsEvent::BrCompute { .. }
             | ObsEvent::HoeInsert { .. }
             | ObsEvent::HoeEvict { .. }
-            | ObsEvent::BackboneSend { .. } => Level::Debug,
+            | ObsEvent::BackboneSend { .. }
+            | ObsEvent::BackboneDrop { .. }
+            | ObsEvent::SignalingTimeout { .. } => Level::Debug,
         }
     }
 
@@ -145,6 +172,8 @@ impl ObsEvent {
             ObsEvent::HoeEvict { .. } => "hoe_evict",
             ObsEvent::QueueHighWater { .. } => "queue_high_water",
             ObsEvent::BackboneSend { .. } => "backbone_send",
+            ObsEvent::BackboneDrop { .. } => "backbone_drop",
+            ObsEvent::SignalingTimeout { .. } => "signaling_timeout",
         }
     }
 
@@ -238,6 +267,25 @@ impl ObsEvent {
                 fields.push(("kind".into(), Value::Str((*kind).to_string())));
                 fields.push(("bytes".into(), Value::UInt(*bytes)));
             }
+            ObsEvent::BackboneDrop {
+                from,
+                to,
+                kind,
+                reason,
+                ..
+            } => {
+                fields.push(("from".into(), Value::UInt(u64::from(*from))));
+                fields.push(("to".into(), Value::UInt(u64::from(*to))));
+                fields.push(("kind".into(), Value::Str((*kind).to_string())));
+                fields.push(("reason".into(), Value::Str((*reason).to_string())));
+            }
+            ObsEvent::SignalingTimeout {
+                cell, req, what, ..
+            } => {
+                fields.push(("cell".into(), Value::UInt(u64::from(*cell))));
+                fields.push(("req".into(), Value::UInt(*req)));
+                fields.push(("what".into(), Value::Str((*what).to_string())));
+            }
         }
         Value::Object(fields)
     }
@@ -251,7 +299,9 @@ impl ObsEvent {
             | ObsEvent::HoeInsert { t, .. }
             | ObsEvent::HoeEvict { t, .. }
             | ObsEvent::QueueHighWater { t, .. }
-            | ObsEvent::BackboneSend { t, .. } => *t,
+            | ObsEvent::BackboneSend { t, .. }
+            | ObsEvent::BackboneDrop { t, .. }
+            | ObsEvent::SignalingTimeout { t, .. } => *t,
         }
     }
 }
@@ -318,6 +368,19 @@ mod tests {
                 kind: "reservation_query",
                 bytes: 32,
             },
+            ObsEvent::BackboneDrop {
+                t: 6.5,
+                from: 3,
+                to: 2,
+                kind: "reservation_reply",
+                reason: "loss",
+            },
+            ObsEvent::SignalingTimeout {
+                t: 7.0,
+                cell: 2,
+                req: 41,
+                what: "reply",
+            },
         ]
     }
 
@@ -341,7 +404,7 @@ mod tests {
     #[test]
     fn jsonl_round_trips_through_value_parse() {
         let text = events_to_jsonl(&sample_events());
-        assert_eq!(text.lines().count(), 7);
+        assert_eq!(text.lines().count(), 9);
         for line in text.lines() {
             let v = Value::parse(line).expect("line must parse");
             assert!(matches!(v, Value::Object(_)));

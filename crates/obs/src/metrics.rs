@@ -453,6 +453,38 @@ pub static BACKBONE_BYTES_TOTAL: Counter = Counter::new(
     "Nominal bytes sent over the wired backbone",
 );
 
+/// Backbone messages dropped by the transport for any reason.
+pub static BACKBONE_DROPPED_TOTAL: Counter = Counter::new(
+    "qres_backbone_dropped_total",
+    "Backbone messages dropped in transit (loss + queue overflow)",
+);
+
+/// Backbone messages dropped by the loss coin.
+pub static BACKBONE_DROPPED_LOSS_TOTAL: Counter = Counter::new(
+    "qres_backbone_dropped_loss_total",
+    "Backbone messages dropped by the configured loss probability",
+);
+
+/// Backbone messages dropped by a full per-link queue.
+pub static BACKBONE_DROPPED_OVERFLOW_TOTAL: Counter = Counter::new(
+    "qres_backbone_dropped_overflow_total",
+    "Backbone messages dropped because the directed link's queue was full",
+);
+
+/// Admission probes abandoned because a `B_i,0`/check reply never arrived
+/// within the reply timeout.
+pub static BACKBONE_TIMEOUT_REPLY_TOTAL: Counter = Counter::new(
+    "qres_backbone_timeout_reply_total",
+    "Two-phase admissions that hit the reply timeout waiting on a neighbor",
+);
+
+/// Shadow reservations released by the commit timeout instead of an
+/// explicit commit/abort.
+pub static BACKBONE_TIMEOUT_COMMIT_TOTAL: Counter = Counter::new(
+    "qres_backbone_timeout_commit_total",
+    "Shadow reservations expired by the commit timeout",
+);
+
 /// Quadruplets inserted into HOE caches.
 pub static HOE_INSERTS_TOTAL: Counter = Counter::new(
     "qres_hoe_inserts_total",
@@ -564,10 +596,15 @@ pub fn sharded_histograms() -> [&'static ShardedHistogram; 2] {
 }
 
 /// Every registered counter, in export order.
-pub fn counters() -> [&'static Counter; 17] {
+pub fn counters() -> [&'static Counter; 22] {
     [
         &BACKBONE_MSGS_TOTAL,
         &BACKBONE_BYTES_TOTAL,
+        &BACKBONE_DROPPED_TOTAL,
+        &BACKBONE_DROPPED_LOSS_TOTAL,
+        &BACKBONE_DROPPED_OVERFLOW_TOTAL,
+        &BACKBONE_TIMEOUT_REPLY_TOTAL,
+        &BACKBONE_TIMEOUT_COMMIT_TOTAL,
         &HOE_INSERTS_TOTAL,
         &HOE_EVICTS_TOTAL,
         &T_EST_INCREASES_TOTAL,
@@ -587,9 +624,19 @@ pub fn counters() -> [&'static Counter; 17] {
 }
 
 /// Every registered max-gauge, in export order.
-pub fn gauges() -> [&'static MaxGauge; 2] {
-    [&QUEUE_HIGH_WATER, &ACTIVE_MOBILES]
+pub fn gauges() -> [&'static MaxGauge; 3] {
+    [
+        &QUEUE_HIGH_WATER,
+        &ACTIVE_MOBILES,
+        &BACKBONE_INFLIGHT_HIGH_WATER,
+    ]
 }
+
+/// High-water mark of simultaneously in-flight backbone messages.
+pub static BACKBONE_INFLIGHT_HIGH_WATER: MaxGauge = MaxGauge::new(
+    "qres_backbone_inflight_high_water",
+    "High-water mark of simultaneously in-flight backbone messages",
+);
 
 /// High-water mark of live events in the DES queue.
 pub static QUEUE_HIGH_WATER: MaxGauge = MaxGauge::new(
@@ -706,8 +753,8 @@ mod tests {
     fn registry_shapes() {
         assert_eq!(histograms().len(), 5);
         assert_eq!(sharded_histograms().len(), 2);
-        assert_eq!(counters().len(), 17);
-        assert_eq!(gauges().len(), 2);
+        assert_eq!(counters().len(), 22);
+        assert_eq!(gauges().len(), 3);
         let names: Vec<_> = histograms().iter().map(|h| h.name()).collect();
         assert!(names.contains(&"qres_event_dispatch_ns"));
         let sharded: Vec<_> = sharded_histograms().iter().map(|h| h.name()).collect();

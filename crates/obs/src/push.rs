@@ -72,7 +72,13 @@ impl PushTarget {
                 stream.flush()
             }
             PushTarget::File(path) => {
-                let tmp = path.with_extension("tmp");
+                // Append `.tmp` to the *full* filename rather than swapping
+                // the extension: two exporters writing `metrics.json` and
+                // `metrics.prom` in the same directory must not collide on
+                // a shared `metrics.tmp` scratch file.
+                let mut tmp = path.clone().into_os_string();
+                tmp.push(".tmp");
+                let tmp = PathBuf::from(tmp);
                 std::fs::write(&tmp, payload)?;
                 std::fs::rename(&tmp, path)
             }
@@ -214,6 +220,43 @@ mod tests {
         assert!(PUSHES_TOTAL.get() > before);
         assert!(body.contains("qres_obs_pushes_total"));
         crate::export::validate_prometheus_text(&body).unwrap();
+    }
+
+    #[test]
+    fn same_directory_exporters_do_not_collide_on_temp_files() {
+        // Regression: `with_extension("tmp")` mapped both `metrics.json`
+        // and `metrics.prom` onto one `metrics.tmp` scratch file, so two
+        // exporters in one directory raced and corrupted each other's
+        // payloads. The scratch name must append to the full filename.
+        let dir = std::env::temp_dir();
+        let stem = format!("qres_push_collide_{}", std::process::id());
+        let json_path = dir.join(format!("{stem}.json"));
+        let prom_path = dir.join(format!("{stem}.prom"));
+        let _ = std::fs::remove_file(&json_path);
+        let _ = std::fs::remove_file(&prom_path);
+        let json = PushExporter::start(
+            &format!("file:{}", json_path.display()),
+            Duration::from_millis(5),
+            PushFormat::Json,
+        )
+        .unwrap();
+        let prom = PushExporter::start(
+            &format!("file:{}", prom_path.display()),
+            Duration::from_millis(5),
+            PushFormat::PrometheusText,
+        )
+        .unwrap();
+        // Let both push concurrently a few times before the final pushes.
+        std::thread::sleep(Duration::from_millis(40));
+        drop(json);
+        drop(prom);
+        let json_body = std::fs::read_to_string(&json_path).unwrap();
+        let prom_body = std::fs::read_to_string(&prom_path).unwrap();
+        // Each file holds its own uncorrupted format.
+        qres_json::Value::parse(json_body.trim()).expect("JSON exporter body parses");
+        crate::export::validate_prometheus_text(&prom_body).expect("Prometheus body lints");
+        let _ = std::fs::remove_file(&json_path);
+        let _ = std::fs::remove_file(&prom_path);
     }
 
     #[test]

@@ -107,6 +107,11 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
 }
 
 fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    // Sockets accepted from a non-blocking listener inherit O_NONBLOCK on
+    // some platforms (BSD/macOS); force blocking mode so reads honor the
+    // timeouts below instead of failing instantly with `WouldBlock` and
+    // silently dropping the scrape.
+    stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let path = match read_request_path(&mut stream)? {
@@ -149,9 +154,19 @@ fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> 
     let mut buf = [0u8; 512];
     loop {
         let n = match stream.read(&mut buf) {
+            // EOF: the client closed mid-request (truncation).
             Ok(0) => break,
             Ok(n) => n,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            // The socket is blocking with a read timeout, so
+            // `WouldBlock`/`TimedOut` here means the peer *stalled*, not
+            // that no data was ready: fall through and serve whatever
+            // complete request line already arrived.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break
+            }
             Err(e) => return Err(e),
         };
         head.extend_from_slice(&buf[..n]);
@@ -160,7 +175,12 @@ fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> 
         }
     }
     let text = String::from_utf8_lossy(&head);
-    let request_line = text.lines().next().unwrap_or("");
+    // Route only a *complete* request line (CRLF-terminated): a path cut
+    // short by truncation or a stall must not be routed — it would 404 a
+    // request that never finished asking.
+    let Some((request_line, _)) = text.split_once("\r\n") else {
+        return Ok(None);
+    };
     let mut parts = request_line.split_whitespace();
     match (parts.next(), parts.next()) {
         (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
@@ -233,6 +253,68 @@ mod tests {
         let (head, _) = http_get(server.addr(), "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_byte_by_byte_client_still_gets_scraped() {
+        // Regression: accepted sockets inheriting the listener's
+        // O_NONBLOCK made the very first read fail with WouldBlock, so a
+        // client that had not yet transmitted its whole request head was
+        // silently dropped. A client trickling one byte at a time must
+        // still get its 200.
+        let server = ObsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        for byte in b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n" {
+            stream.write_all(std::slice::from_ref(byte)).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "slow client must be served: {}",
+            response.lines().next().unwrap_or("<empty>")
+        );
+        let body = response.split_once("\r\n\r\n").expect("head/body").1;
+        crate::export::validate_prometheus_text(body).expect("scrape must lint clean");
+        server.shutdown();
+    }
+
+    #[test]
+    fn truncated_request_line_is_dropped_not_routed() {
+        // A client that dies mid-path must not have its half-written path
+        // routed (it used to 404 `/met`); the connection just closes.
+        let server = ObsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(b"GET /met").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.is_empty(), "truncated request got: {response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_headers_time_out_into_a_response() {
+        // Timeout is distinguished from truncation: a complete request
+        // line whose *headers* stall is served once the read timeout
+        // fires, instead of being dropped.
+        let server = ObsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: lo")
+            .unwrap();
+        // Stall without closing: the server's 2 s read timeout must fire
+        // and answer the complete request line.
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "stalled client must still be served: {}",
+            response.lines().next().unwrap_or("<empty>")
+        );
         server.shutdown();
     }
 

@@ -26,10 +26,10 @@ use qres_cellnet::ids::ConnectionIdAllocator;
 use qres_cellnet::{
     CellId, ConnectionId, Direction, HexDir, HexGrid, RoadGeometry, Topology, WiredNetwork,
 };
-use qres_core::{NewConnectionRequest, ReservationSystem};
+use qres_core::{CompletedAdmission, NewConnectionRequest, ReservationSystem};
 use qres_des::{Duration, EventHandle, EventQueue, Handler, SimTime, Simulation};
 
-use crate::metrics::{Metrics, RunResult};
+use crate::metrics::{BackboneFaults, Metrics, RunResult};
 use crate::scenario::Scenario;
 use crate::workload::{MobileAttrs, Workload};
 
@@ -52,6 +52,17 @@ enum Event {
     HourTick,
     /// End of the warm-up period: reset measurement counters.
     WarmupEnd,
+    /// The next backbone delivery or two-phase deadline is due
+    /// (asynchronous signaling mode).
+    SignalingDeliver,
+}
+
+/// An arrival whose admission is in flight on the signaling plane; the
+/// attributes are parked until the two-phase verdict lands.
+#[derive(Debug, Clone, Copy)]
+struct PendingArrival {
+    attrs: MobileAttrs,
+    attempts: u32,
 }
 
 /// Live state of one admitted mobile.
@@ -131,6 +142,11 @@ pub struct Engine {
     neighbor_lists: Vec<Vec<CellId>>,
     /// Wired backbone with per-connection paths (Section 7 extension).
     wired: Option<WiredNetwork>,
+    /// Arrivals whose admission is awaiting the two-phase verdict, keyed
+    /// by admission sequence number (asynchronous signaling mode).
+    pending_arrivals: HashMap<u64, PendingArrival>,
+    /// The scheduled [`Event::SignalingDeliver`], if any.
+    signaling_handle: Option<EventHandle>,
 }
 
 impl Engine {
@@ -165,7 +181,11 @@ impl Engine {
             .cells()
             .map(|c| topology.neighbors(c).to_vec())
             .collect();
-        let system = ReservationSystem::new(scenario.qres_config(), topology, scenario.backbone);
+        let mut system =
+            ReservationSystem::new(scenario.qres_config(), topology, scenario.backbone);
+        if scenario.uses_async_signaling() {
+            system.enable_async_signaling(scenario.backbone_config(), scenario.async_config());
+        }
         let workload = Workload::new(&scenario);
         let total_hours = (scenario.duration_secs / 3_600.0).ceil() as usize + 1;
         let metrics = Metrics::new(
@@ -185,6 +205,8 @@ impl Engine {
             metrics,
             neighbor_lists,
             wired,
+            pending_arrivals: HashMap::new(),
+            signaling_handle: None,
         }
     }
 
@@ -261,6 +283,17 @@ impl Engine {
             self.scenario.speed_range_kmh.0,
             self.scenario.speed_range_kmh.1,
         );
+        let faults = self.system.signaling().fault_stats();
+        let timeouts = self.system.signaling_timeouts();
+        let backbone = BackboneFaults {
+            dropped_loss: faults.dropped_loss,
+            dropped_overflow: faults.dropped_overflow,
+            max_inflight: faults.max_inflight,
+            reply_timeouts: timeouts.reply_timeouts,
+            commit_timeouts: timeouts.commit_timeouts,
+            stale_replies: timeouts.stale_replies,
+            races_lost: timeouts.races_lost,
+        };
         self.metrics.clone().finalize(
             label,
             now,
@@ -269,6 +302,7 @@ impl Engine {
             &final_bu,
             self.system.n_calc_stats().mean().unwrap_or(0.0),
             self.system.signaling().stats(),
+            backbone,
             events,
         )
     }
@@ -317,15 +351,24 @@ impl Engine {
             self.maybe_schedule_retry(now, cell, attrs, attempts, queue);
             return;
         }
-        let decision = self.system.request_new_connection(
-            now,
-            NewConnectionRequest {
-                cell,
-                id,
-                bandwidth,
-                known_next,
-            },
-        );
+        let req = NewConnectionRequest {
+            cell,
+            id,
+            bandwidth,
+            known_next,
+        };
+        if self.system.async_enabled() {
+            // Two-phase signaling: park the attributes and let the verdict
+            // arrive with the backbone's replies (possibly at this very
+            // instant, when the transport is ideal).
+            self.system.begin_new_connection(now, req);
+            let req_id = self.system.admission_requests_total();
+            self.pending_arrivals
+                .insert(req_id, PendingArrival { attrs, attempts });
+            self.drain_signaling(now, queue);
+            return;
+        }
+        let decision = self.system.request_new_connection(now, req);
         let blocked = decision.is_blocked();
         self.metrics.record_request(now, cell, blocked);
         if qres_obs::enabled() {
@@ -359,6 +402,89 @@ impl Engine {
                 cell,
                 speed_kmh: attrs.speed_kmh,
                 heading: attrs.heading,
+                end_handle,
+                handoff_handle: Some(handoff_handle),
+            },
+        );
+        if qres_obs::enabled() {
+            qres_obs::metrics::ACTIVE_MOBILES.observe(self.mobiles.len() as u64);
+        }
+    }
+
+    /// Drains due backbone deliveries and deadlines, finishes any
+    /// admissions they resolved, and re-arms the wake-up event.
+    fn drain_signaling(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        {
+            // Split borrow: the veto closure re-checks wired feasibility at
+            // resolution time (it may have changed while signaling was in
+            // flight) while the system drives the protocol.
+            let Engine { system, wired, .. } = self;
+            let mut veto = |req: &NewConnectionRequest| {
+                wired
+                    .as_ref()
+                    .is_some_and(|w| !w.can_allocate(req.cell, req.bandwidth))
+            };
+            system.process_signaling(now, &mut veto);
+        }
+        for done in self.system.take_completed() {
+            self.finish_admission(done, queue);
+        }
+        if let Some(h) = self.signaling_handle.take() {
+            queue.cancel(h);
+        }
+        if let Some(t) = self.system.next_signaling_time() {
+            let at = if t < now { now } else { t };
+            self.signaling_handle = Some(queue.schedule(at, Event::SignalingDeliver));
+        }
+    }
+
+    /// Runs the bookkeeping the synchronous path does inline, at the time
+    /// the two-phase verdict landed.
+    fn finish_admission(&mut self, done: CompletedAdmission, queue: &mut EventQueue<Event>) {
+        let at = done.at;
+        let cell = done.req.cell;
+        let Some(pa) = self.pending_arrivals.remove(&done.req_id) else {
+            debug_assert!(
+                false,
+                "resolved admission {} has no parked arrival",
+                done.req_id
+            );
+            return;
+        };
+        let blocked = done.decision.is_blocked();
+        self.metrics.record_request(at, cell, blocked);
+        if qres_obs::enabled() {
+            qres_obs::qos::record_admission_outcome(at.as_secs(), cell.0, blocked);
+        }
+        self.after_admission_test(at, cell);
+        if blocked {
+            self.maybe_schedule_retry(at, cell, pa.attrs, pa.attempts, queue);
+            return;
+        }
+        self.metrics
+            .update_bu(at, cell, self.system.cell(cell).used().as_bus());
+        if let Some(wired) = &mut self.wired {
+            wired
+                .allocate(done.req.id, cell, done.req.bandwidth)
+                .expect("wired feasibility vetoed at resolution");
+        }
+        let end_handle = queue.schedule(
+            at + Duration::from_secs(pa.attrs.lifetime_secs),
+            Event::ConnectionEnd { id: done.req.id },
+        );
+        let crossing = self.mobility.first_crossing(
+            cell,
+            pa.attrs.position_frac,
+            pa.attrs.heading,
+            pa.attrs.speed_kmh,
+        );
+        let handoff_handle = queue.schedule(at + crossing, Event::Handoff { id: done.req.id });
+        self.mobiles.insert(
+            done.req.id,
+            MobileState {
+                cell,
+                speed_kmh: pa.attrs.speed_kmh,
+                heading: pa.attrs.heading,
                 end_handle,
                 handoff_handle: Some(handoff_handle),
             },
@@ -533,6 +659,10 @@ impl Handler<Event> for Driver<'_> {
                 queue.schedule(now + Duration::from_hours(1.0), Event::HourTick);
             }
             Event::WarmupEnd => e.metrics.reset_for_measurement(now),
+            Event::SignalingDeliver => {
+                e.signaling_handle = None;
+                e.drain_signaling(now, queue);
+            }
         }
     }
 }
@@ -783,6 +913,45 @@ mod tests {
         // switch, so a visible fraction of links is kept by crossover.
         assert!(kept > 0, "crossover kept no links");
         assert!(engine.wired().unwrap().check_invariants());
+    }
+
+    #[test]
+    fn async_faulty_backbone_runs_and_counts_faults() {
+        let r = Engine::new(
+            Scenario::paper_baseline()
+                .scheme(SchemeKind::Ac3)
+                .offered_load(150.0)
+                .duration_secs(300.0)
+                .backbone_faults(0.05, 0.05, 32)
+                .seed(16),
+        )
+        .run();
+        assert!(r.system_cb.trials() > 300, "admissions still resolve");
+        assert!(r.system_hd.trials() > 0, "hand-offs still happen");
+        assert!(r.backbone.dropped_loss > 0, "5% loss must drop messages");
+        assert!(r.backbone.max_inflight > 0);
+        // Lost probe replies surface as timeout verdicts, not hangs.
+        assert!(r.backbone.reply_timeouts > 0);
+    }
+
+    #[test]
+    fn lossy_deny_backbone_blocks_more_than_ideal() {
+        let base = Scenario::paper_baseline()
+            .scheme(SchemeKind::Ac2)
+            .offered_load(150.0)
+            .duration_secs(300.0)
+            .seed(17);
+        let ideal = Engine::new(base.clone().async_signaling()).run();
+        let lossy = Engine::new(base.backbone_faults(0.1, 0.3, 0)).run();
+        // Under the conservative Deny verdict, every timed-out handshake
+        // becomes a block: heavy loss must not *improve* admission odds.
+        assert!(
+            lossy.p_cb() > ideal.p_cb(),
+            "lossy Deny backbone must inflate blocking: {} vs {}",
+            lossy.p_cb(),
+            ideal.p_cb()
+        );
+        assert!(lossy.backbone.reply_timeouts > 0);
     }
 
     #[test]

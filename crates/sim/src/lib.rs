@@ -37,7 +37,7 @@ pub mod timevarying;
 pub mod workload;
 
 pub use engine::Engine;
-pub use metrics::{CellSummary, Metrics, RunResult};
+pub use metrics::{BackboneFaults, CellSummary, Metrics, RunResult};
 pub use parallel::par_map;
 pub use runner::{run_scenario, sweep_offered_load, sweep_offered_load_sequential};
 pub use scenario::{DirectionMode, Scenario, SchemeKind, WiredConfig};

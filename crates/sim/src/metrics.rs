@@ -161,6 +161,7 @@ impl Metrics {
         final_bu: &[u32],
         n_calc_mean: f64,
         signaling: MessageStats,
+        backbone: BackboneFaults,
         events_dispatched: u64,
     ) -> RunResult {
         assert_eq!(final_t_est.len(), self.cells.len());
@@ -197,6 +198,7 @@ impl Metrics {
             system_hd,
             n_calc_mean,
             signaling,
+            backbone,
             events_dispatched,
             hourly_cb: self.hourly_cb.midpoint_series(),
             hourly_hd: self.hourly_hd.midpoint_series(),
@@ -204,6 +206,26 @@ impl Metrics {
             traces: self.traces,
         }
     }
+}
+
+/// End-of-run backbone fault and two-phase protocol counters (all zero on
+/// the synchronous signaling path or an ideal transport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackboneFaults {
+    /// Messages dropped by the loss coin.
+    pub dropped_loss: u64,
+    /// Messages dropped at a full per-link queue.
+    pub dropped_overflow: u64,
+    /// High-water mark of simultaneously in-flight messages.
+    pub max_inflight: u64,
+    /// Admissions / nested probes resolved by the reply timeout.
+    pub reply_timeouts: u64,
+    /// Shadow reservations expired awaiting commit.
+    pub commit_timeouts: u64,
+    /// Replies that arrived after their admission resolved.
+    pub stale_replies: u64,
+    /// Admissions downgraded after losing the capacity race.
+    pub races_lost: u64,
 }
 
 /// End-of-run status of one cell (a Table 2 row).
@@ -252,6 +274,8 @@ pub struct RunResult {
     pub n_calc_mean: f64,
     /// Backbone signaling totals.
     pub signaling: MessageStats,
+    /// Backbone transport fault and two-phase timeout counters.
+    pub backbone: BackboneFaults,
     /// Events dispatched by the DES (a size/sanity indicator).
     pub events_dispatched: u64,
     /// Hourly `P_CB` series `(hour midpoint, ratio)` (Fig. 14b).
@@ -325,6 +349,15 @@ qres_json::json_struct!(CellSummary {
     b_r_avg,
     b_u_avg
 });
+qres_json::json_struct!(BackboneFaults {
+    dropped_loss,
+    dropped_overflow,
+    max_inflight,
+    reply_timeouts,
+    commit_timeouts,
+    stale_replies,
+    races_lost
+});
 qres_json::json_struct!(RunResult {
     label,
     duration_secs,
@@ -333,6 +366,7 @@ qres_json::json_struct!(RunResult {
     system_hd,
     n_calc_mean,
     signaling,
+    backbone,
     events_dispatched,
     hourly_cb,
     hourly_hd,
@@ -357,6 +391,7 @@ mod tests {
             &vec![0; n],
             1.0,
             MessageStats::default(),
+            BackboneFaults::default(),
             0,
         )
     }

@@ -7,8 +7,9 @@
 //! the optional time-varying schedule. [`Scenario::paper_baseline`] is the
 //! Section 5.1 parameter set; builder methods override single knobs.
 
-use qres_cellnet::{Bandwidth, BsNetworkKind, CellId, MediaClass, WiredNetwork};
-use qres_core::{AcKind, NsParams, QresConfig, SchemeConfig};
+use qres_cellnet::{BackboneConfig, Bandwidth, BsNetworkKind, CellId, MediaClass, WiredNetwork};
+use qres_core::{AcKind, AsyncSignalingConfig, NsParams, QresConfig, SchemeConfig, TimeoutVerdict};
+use qres_des::Duration;
 
 use crate::timevarying::TimeVaryingConfig;
 
@@ -175,8 +176,27 @@ pub struct Scenario {
     pub warmup_secs: f64,
     /// Master RNG seed.
     pub seed: u64,
-    /// Inter-BS backbone (affects signaling cost accounting only).
+    /// Inter-BS backbone topology (message hop counts; with the transport
+    /// disabled it affects signaling cost accounting only).
     pub backbone: BsNetworkKind,
+    /// Run admission signaling through the asynchronous two-phase
+    /// transport even when the backbone is ideal (implied by any nonzero
+    /// fault knob below).
+    pub async_signaling: bool,
+    /// Per-hop backbone message latency in seconds (star-via-MSC pays two
+    /// hops per message).
+    pub backbone_latency_secs: f64,
+    /// Independent per-message backbone loss probability.
+    pub backbone_loss_prob: f64,
+    /// Max in-flight messages per directed BS pair (0 = unbounded).
+    pub backbone_queue_limit: u64,
+    /// Reply deadline of a two-phase probe (seconds).
+    pub backbone_reply_timeout_secs: f64,
+    /// Expiry of an uncommitted shadow reservation (seconds).
+    pub backbone_commit_timeout_secs: f64,
+    /// Timeout fallback: `true` = optimistic local-only test,
+    /// `false` = conservative deny (the paper's hand-off-first ordering).
+    pub backbone_timeout_allows: bool,
     /// Optional wired-backbone reservation (Section 7 extension).
     pub wired: Option<WiredConfig>,
     /// Optional time-varying workload (Fig. 14).
@@ -211,6 +231,13 @@ impl Scenario {
             warmup_secs: 0.0,
             seed: 1,
             backbone: BsNetworkKind::FullyConnected,
+            async_signaling: false,
+            backbone_latency_secs: 0.0,
+            backbone_loss_prob: 0.0,
+            backbone_queue_limit: 0,
+            backbone_reply_timeout_secs: 5.0,
+            backbone_commit_timeout_secs: 10.0,
+            backbone_timeout_allows: false,
             wired: None,
             time_varying: None,
             trace_cells: Vec::new(),
@@ -292,6 +319,59 @@ impl Scenario {
         self
     }
 
+    /// Builder: route admissions through the asynchronous two-phase
+    /// signaling plane (ideal backbone unless fault knobs are set).
+    pub fn async_signaling(mut self) -> Self {
+        self.async_signaling = true;
+        self
+    }
+
+    /// Builder: inject backbone faults — per-hop latency (seconds), loss
+    /// probability and per-link queue limit (0 = unbounded). Any nonzero
+    /// knob implies the asynchronous signaling plane.
+    pub fn backbone_faults(mut self, latency_secs: f64, loss_prob: f64, queue_limit: u64) -> Self {
+        self.backbone_latency_secs = latency_secs;
+        self.backbone_loss_prob = loss_prob;
+        self.backbone_queue_limit = queue_limit;
+        self
+    }
+
+    /// Whether this run uses the asynchronous signaling plane: requested
+    /// explicitly, or implied by any backbone fault knob.
+    pub fn uses_async_signaling(&self) -> bool {
+        self.async_signaling
+            || self.backbone_latency_secs > 0.0
+            || self.backbone_loss_prob > 0.0
+            || self.backbone_queue_limit > 0
+    }
+
+    /// The backbone transport configuration (loss stream seeded from the
+    /// scenario's master seed via a dedicated label).
+    pub fn backbone_config(&self) -> BackboneConfig {
+        BackboneConfig {
+            hop_latency: Duration::from_secs(self.backbone_latency_secs),
+            loss_prob: self.backbone_loss_prob,
+            queue_limit: match self.backbone_queue_limit {
+                0 => None,
+                n => Some(n as usize),
+            },
+            seed: qres_des::RngFactory::new(self.seed).derive_seed("backbone_loss", 0),
+        }
+    }
+
+    /// The two-phase protocol deadlines and fallback policy.
+    pub fn async_config(&self) -> AsyncSignalingConfig {
+        AsyncSignalingConfig {
+            reply_timeout: Duration::from_secs(self.backbone_reply_timeout_secs),
+            commit_timeout: Duration::from_secs(self.backbone_commit_timeout_secs),
+            timeout_verdict: if self.backbone_timeout_allows {
+                TimeoutVerdict::Allow
+            } else {
+                TimeoutVerdict::Deny
+            },
+        }
+    }
+
     /// Builder: attach a time-varying workload.
     pub fn time_varying(mut self, tv: TimeVaryingConfig) -> Self {
         self.duration_secs = tv.total_secs();
@@ -360,6 +440,18 @@ impl Scenario {
             "turn probability must be in [0,1]"
         );
         assert!(self.duration_secs > 0.0, "duration must be positive");
+        assert!(
+            self.backbone_latency_secs >= 0.0,
+            "backbone latency cannot be negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.backbone_loss_prob),
+            "backbone loss probability must be in [0,1]"
+        );
+        assert!(
+            self.backbone_reply_timeout_secs > 0.0 && self.backbone_commit_timeout_secs > 0.0,
+            "backbone timeouts must be positive"
+        );
         assert!(
             self.warmup_secs < self.duration_secs,
             "warm-up must end before the run does"
@@ -521,6 +613,13 @@ qres_json::json_struct!(Scenario {
     warmup_secs,
     seed,
     backbone,
+    async_signaling,
+    backbone_latency_secs,
+    backbone_loss_prob,
+    backbone_queue_limit,
+    backbone_reply_timeout_secs,
+    backbone_commit_timeout_secs,
+    backbone_timeout_allows,
     wired,
     time_varying,
     trace_cells

@@ -1,10 +1,12 @@
 #!/bin/bash
 # Runs the perf-tracking micro-benchmarks and writes a JSON snapshot
-# (default BENCH_05.json): the `reservation_b_i0` batched-vs-naive pairs at
+# (default BENCH_06.json): the `reservation_b_i0` batched-vs-naive pairs at
 # populations 10/50/100/200, the end-to-end sweep wall-clock over the
 # paper's 10-point load grid (parallel and sequential runners), the
-# telemetry overhead pair (`obs_overhead/disabled` vs `enabled`), and the
-# p99 of the instrumented hot-path histograms (`obs_hist_p99/...`).
+# telemetry overhead pair (`obs_overhead/disabled` vs `enabled`), the
+# async-signaling overhead triple (`async_overhead/sync` vs `async_ideal`
+# vs `async_faulty`), and the p99 of the instrumented hot-path histograms
+# (`obs_hist_p99/...`).
 #
 # Each qres-microbench harness prints machine-readable `BENCH {...}` lines;
 # this script collects them, adds the batched/naive speedup summary and the
@@ -21,13 +23,14 @@
 # Usage: scripts/bench_snapshot.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_05.json}"
+out="${1:-BENCH_06.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 cargo bench -q -p qres-bench --bench reservation reservation_b_i0 2>&1 | tee -a "$raw"
 cargo bench -q -p qres-bench --bench end_to_end sweep_10pt_grid 2>&1 | tee -a "$raw"
 cargo bench -q -p qres-bench --bench obs_overhead obs_overhead 2>&1 | tee -a "$raw"
+cargo bench -q -p qres-bench --bench async_overhead async_overhead 2>&1 | tee -a "$raw"
 
 python3 - "$raw" "$out" <<'PY'
 import glob, json, re, sys
@@ -86,6 +89,25 @@ try:
 except (OSError, json.JSONDecodeError):
     pass
 
+# --- async two-phase signaling overhead (PR 6) ---------------------------
+# The async-ideal row runs the full envelope/shadow-ticket machinery over a
+# zero-latency transport, producing outcomes bit-identical to sync (proved
+# by tests/determinism.rs); its delta over the sync row is therefore the
+# pure bookkeeping cost of the asynchronous plane. The faulty row adds
+# latency, loss and bounded queues, so it also pays retries and timeouts.
+# Informational, not gated.
+async_overhead = {}
+sync_row = by_id.get("async_overhead/sync")
+if sync_row:
+    s = sync_row["ns_per_iter"]
+    async_overhead["sync_ns_per_iter"] = s
+    for mode in ("async_ideal", "async_faulty"):
+        row = by_id.get(f"async_overhead/{mode}")
+        if row:
+            async_overhead[f"{mode}_ns_per_iter"] = row["ns_per_iter"]
+            async_overhead[f"{mode}_overhead_pct"] = round(
+                (row["ns_per_iter"] - s) / s * 100.0, 2)
+
 # --- p99 regression gate against the previous snapshot -------------------
 GATED = ("obs_hist_p99/qres_admission_test_ns", "obs_hist_p99/qres_br_compute_ns")
 THRESHOLD_PCT = 10.0
@@ -128,11 +150,12 @@ for gid in GATED:
                         f"{cur['ns_per_iter']:.0f} ns (+{delta:.1f}% > {THRESHOLD_PCT}%)")
 
 doc = {
-    "suite": "qres perf snapshot 05",
+    "suite": "qres perf snapshot 06",
     "benchmarks": entries,
     "b_i0_speedup_batched_over_naive": speedups,
     "obs_overhead": obs,
     "calibration_overhead_vs_bench_04": calib_overhead,
+    "async_overhead": async_overhead,
     "p99_gate": p99_gate,
 }
 with open(out_path, "w") as f:
@@ -141,6 +164,8 @@ with open(out_path, "w") as f:
 print(f"wrote {out_path}: {len(entries)} benchmarks, speedups {speedups}, obs {obs}")
 if calib_overhead:
     print(f"calibration-path overhead vs BENCH_04: {calib_overhead}")
+if async_overhead:
+    print(f"async signaling overhead: {async_overhead}")
 print(f"p99 gate vs {p99_gate['previous_snapshot']}: {p99_gate['diffs']}")
 if failures:
     for f in failures:

@@ -3,10 +3,13 @@
 //! ```text
 //! qres template [stationary|time-varying|wired]   print a scenario template
 //! qres run <scenario.json> [--json] [--obs] [--obs-sample N] [--obs-push TARGET]
+//!          [--backbone-latency SECS] [--backbone-loss P] [--backbone-queue N]
 //! qres sweep <scenario.json> --loads 60,120,300 [--obs] [--obs-sample N]
-//!            [--obs-push TARGET]
+//!            [--obs-push TARGET] [--backbone-latency SECS] [--backbone-loss P]
+//!            [--backbone-queue N]
 //! qres serve <scenario.json> [--addr HOST:PORT] [--loads ...]
 //!            [--sequential] [--linger-secs N] [--obs-sample N] [--obs-push TARGET]
+//!            [--backbone-latency SECS] [--backbone-loss P] [--backbone-queue N]
 //! qres obslint <snapshot.prom>                    lint a Prometheus snapshot
 //! qres obscheck <events.jsonl> [--all-types] [--monotonic]
 //! qres obsfold <events.jsonl>                     folded stacks (flamegraph)
@@ -81,9 +84,11 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  qres template [stationary|time-varying|wired]\n  \
                  qres run <scenario.json> [--json] [--obs] [--obs-sample N] \
-                 [--obs-push TARGET]\n  \
+                 [--obs-push TARGET] [--backbone-latency SECS] [--backbone-loss P] \
+                 [--backbone-queue N]\n  \
                  qres sweep <scenario.json> --loads 60,120,300 [--obs] [--obs-sample N] \
-                 [--obs-push TARGET]\n  \
+                 [--obs-push TARGET] [--backbone-latency SECS] [--backbone-loss P] \
+                 [--backbone-queue N]\n  \
                  qres serve <scenario.json> [--addr HOST:PORT] [--loads ...] \
                  [--sequential] [--linger-secs N] [--obs-sample N] [--obs-push TARGET]\n  \
                  qres obslint <snapshot.prom>\n  \
@@ -230,9 +235,56 @@ fn obs_finish(quiet: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Backbone fault-injection overrides: `--backbone-latency SECS`,
+/// `--backbone-loss P` and `--backbone-queue N` put the run on the
+/// asynchronous two-phase signaling plane with the given transport faults
+/// (any flag present implies async signaling, even at value 0).
+fn apply_backbone_flags(mut scenario: Scenario, args: &[String]) -> Result<Scenario, String> {
+    let parse = |flag: &str| -> Result<Option<f64>, String> {
+        match flag_value(args, flag) {
+            None => {
+                if args.iter().any(|a| a == flag) {
+                    return Err(format!("{flag} requires a value"));
+                }
+                Ok(None)
+            }
+            Some(raw) => raw
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .map(Some)
+                .ok_or_else(|| format!("{flag} expects a non-negative number, got `{raw}`")),
+        }
+    };
+    if let Some(latency) = parse("--backbone-latency")? {
+        scenario.backbone_latency_secs = latency;
+        scenario.async_signaling = true;
+    }
+    if let Some(loss) = parse("--backbone-loss")? {
+        if loss > 1.0 {
+            return Err(format!("--backbone-loss must be in [0,1], got {loss}"));
+        }
+        scenario.backbone_loss_prob = loss;
+        scenario.async_signaling = true;
+    }
+    if let Some(queue) = parse("--backbone-queue")? {
+        if queue.fract() != 0.0 {
+            return Err(format!(
+                "--backbone-queue expects an integer message count, got {queue}"
+            ));
+        }
+        scenario.backbone_queue_limit = queue as u64;
+        scenario.async_signaling = true;
+    }
+    Ok(scenario)
+}
+
 fn run(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
-        eprintln!("qres run <scenario.json> [--json] [--obs]");
+        eprintln!(
+            "qres run <scenario.json> [--json] [--obs] \
+             [--backbone-latency SECS] [--backbone-loss P] [--backbone-queue N]"
+        );
         return ExitCode::from(2);
     };
     let as_json = args.iter().any(|a| a == "--json");
@@ -250,7 +302,7 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let scenario = match load_scenario(path) {
+    let scenario = match load_scenario(path).and_then(|s| apply_backbone_flags(s, args)) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
@@ -306,7 +358,10 @@ fn parse_loads(args: &[String]) -> Result<Vec<f64>, String> {
 
 fn sweep(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
-        eprintln!("qres sweep <scenario.json> --loads 60,120,300 [--obs]");
+        eprintln!(
+            "qres sweep <scenario.json> --loads 60,120,300 [--obs] \
+             [--backbone-latency SECS] [--backbone-loss P] [--backbone-queue N]"
+        );
         return ExitCode::from(2);
     };
     let obs = match obs_setup(args) {
@@ -330,7 +385,7 @@ fn sweep(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let base = match load_scenario(path) {
+    let base = match load_scenario(path).and_then(|s| apply_backbone_flags(s, args)) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
@@ -390,7 +445,8 @@ fn serve(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!(
             "qres serve <scenario.json> [--addr HOST:PORT] [--loads 60,120,300] \
-             [--sequential] [--linger-secs N] [--obs-sample N]"
+             [--sequential] [--linger-secs N] [--obs-sample N] \
+             [--backbone-latency SECS] [--backbone-loss P] [--backbone-queue N]"
         );
         return ExitCode::from(2);
     };
@@ -427,7 +483,7 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let base = match load_scenario(path) {
+    let base = match load_scenario(path).and_then(|s| apply_backbone_flags(s, args)) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");

@@ -127,6 +127,94 @@ fn recorder_does_not_perturb_outcomes() {
     }
 }
 
+/// The asynchronous two-phase signaling plane, run over an **ideal**
+/// transport (zero latency, zero loss, unbounded queues), reproduces the
+/// synchronous admission path bit-for-bit under every scheme: the whole
+/// probe → reserve → commit cascade unfolds at a single simulation instant
+/// in exactly the synchronous evaluation order.
+#[test]
+fn async_zero_latency_matches_synchronous() {
+    use qres::cellnet::MessageKind;
+    use qres::sim::Engine;
+    for scheme in [
+        SchemeKind::Static { guard_bus: 10 },
+        SchemeKind::Ac1,
+        SchemeKind::Ac2,
+        SchemeKind::Ac3,
+    ] {
+        let base = Scenario::paper_baseline()
+            .scheme(scheme)
+            .offered_load(250.0)
+            .duration_secs(600.0)
+            .seed(21);
+        let mut sync_engine = Engine::new(base.clone());
+        let sync = sync_engine.run_keeping_state();
+        let mut async_engine = Engine::new(base.async_signaling());
+        let twop = async_engine.run_keeping_state();
+        assert_eq!(sync.system_cb, twop.system_cb, "{scheme:?} P_CB counters");
+        assert_eq!(sync.system_hd, twop.system_hd, "{scheme:?} P_HD counters");
+        assert_eq!(sync.n_calc_mean, twop.n_calc_mean, "{scheme:?} N_calc");
+        for (a, b) in sync.cells.iter().zip(&twop.cells) {
+            assert_eq!(
+                a.b_r_final.to_bits(),
+                b.b_r_final.to_bits(),
+                "{scheme:?} cell {} B_r must be bit-identical",
+                a.cell
+            );
+            assert_eq!(a.b_u_final, b.b_u_final, "{scheme:?} cell {}", a.cell);
+            assert_eq!(a.t_est_secs, b.t_est_secs, "{scheme:?} cell {}", a.cell);
+            assert_eq!(a.p_cb, b.p_cb, "{scheme:?} cell {}", a.cell);
+            assert_eq!(a.p_hd, b.p_hd, "{scheme:?} cell {}", a.cell);
+            assert_eq!(a.b_r_avg, b.b_r_avg, "{scheme:?} cell {}", a.cell);
+            assert_eq!(a.b_u_avg, b.b_u_avg, "{scheme:?} cell {}", a.cell);
+        }
+        // The probe/check traffic matches message-for-message; only the
+        // commit/abort epilogue is new to the two-phase plane.
+        for kind in [
+            MessageKind::ReservationQuery,
+            MessageKind::ReservationReply,
+            MessageKind::AdmissionCheckRequest,
+            MessageKind::AdmissionCheckReply,
+        ] {
+            assert_eq!(
+                sync_engine.system_mut().signaling().stats_for(kind),
+                async_engine.system_mut().signaling().stats_for(kind),
+                "{scheme:?} {kind:?} traffic"
+            );
+        }
+        // An ideal transport produces no faults, timeouts or lost races.
+        let b = twop.backbone;
+        assert_eq!(b.dropped_loss, 0, "{scheme:?}");
+        assert_eq!(b.dropped_overflow, 0, "{scheme:?}");
+        assert_eq!(b.reply_timeouts, 0, "{scheme:?}");
+        assert_eq!(b.commit_timeouts, 0, "{scheme:?}");
+        assert_eq!(b.stale_replies, 0, "{scheme:?}");
+        assert_eq!(b.races_lost, 0, "{scheme:?}");
+    }
+}
+
+/// Fault injection stays deterministic: the loss stream, the delivery
+/// schedule and every timeout are seeded, so a faulty run replays exactly.
+#[test]
+fn faulty_backbone_is_deterministic() {
+    let s = Scenario::paper_baseline()
+        .scheme(SchemeKind::Ac3)
+        .offered_load(200.0)
+        .duration_secs(400.0)
+        .backbone_faults(0.05, 0.02, 64)
+        .seed(33);
+    let a = run_scenario(&s);
+    let b = run_scenario(&s);
+    assert_eq!(a.system_cb, b.system_cb);
+    assert_eq!(a.system_hd, b.system_hd);
+    assert_eq!(a.backbone, b.backbone);
+    assert_eq!(a.events_dispatched, b.events_dispatched);
+    assert!(
+        a.backbone.dropped_loss > 0,
+        "2% loss over a 400 s run must drop messages"
+    );
+}
+
 /// Determinism holds in the time-varying mode too (retry coin flips are a
 /// seeded stream).
 #[test]
